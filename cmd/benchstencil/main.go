@@ -1,0 +1,104 @@
+// Benchstencil is the reproduction of the paper artifact's
+// BenchmarkStencil program: it runs one Krylov solver on one generated
+// stencil system and reports execution time per iteration (simulated on
+// the modeled cluster, per DESIGN.md).
+//
+// Flags mirror the artifact's command line: -dim selects the stencil
+// (1: 3-point 1D, 2: 5-point 2D, 3: 7-point 3D, 4: 27-point 3D), -solver
+// the method (1: CG, 2: BiCGStab, 3: GMRES), -nx/-ny/-nz the grid,
+// -vp the number of vector pieces, and -it the iteration count.
+//
+//	benchstencil -dim 2 -solver 1 -nx 4096 -ny 4096 -vp 64 -it 200
+//
+// The additional -lib flag ({kdr, petsc, trilinos}) selects the library
+// and -nodes the simulated node count (4 GPUs per node, as on Lassen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kdrsolvers/internal/baseline"
+	"kdrsolvers/internal/figures"
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sparse"
+)
+
+func main() {
+	dim := flag.Int("dim", 2, "stencil: 1=3pt-1D 2=5pt-2D 3=7pt-3D 4=27pt-3D")
+	solver := flag.Int("solver", 1, "solver: 1=CG 2=BiCGStab 3=GMRES")
+	nx := flag.Int64("nx", 4096, "grid extent x")
+	ny := flag.Int64("ny", 0, "grid extent y (2D/3D)")
+	nz := flag.Int64("nz", 0, "grid extent z (3D)")
+	vp := flag.Int("vp", 0, "vector pieces (0 = one per GPU)")
+	it := flag.Int("it", 200, "timed iterations")
+	warm := flag.Int("warmup", 20, "warmup iterations")
+	lib := flag.String("lib", "kdr", "library: kdr, petsc, or trilinos")
+	nodes := flag.Int("nodes", 16, "simulated node count (4 GPUs each)")
+	notrace := flag.Bool("notrace", false, "disable dynamic-trace memoization (kdr only)")
+	flag.Parse()
+
+	kinds := map[int]sparse.StencilKind{
+		1: sparse.Stencil1D3, 2: sparse.Stencil2D5,
+		3: sparse.Stencil3D7, 4: sparse.Stencil3D27,
+	}
+	kind, ok := kinds[*dim]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchstencil: -dim must be 1..4")
+		os.Exit(2)
+	}
+	solvers := map[int]string{1: "cg", 2: "bicgstab", 3: "gmres"}
+	solverName, ok := solvers[*solver]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchstencil: -solver must be 1..3")
+		os.Exit(2)
+	}
+
+	var grid index.Grid
+	switch kind.Rank() {
+	case 1:
+		grid = index.NewGrid(*nx)
+	case 2:
+		if *ny == 0 {
+			*ny = *nx
+		}
+		grid = index.NewGrid(*nx, *ny)
+	default:
+		if *ny == 0 {
+			*ny = *nx
+		}
+		if *nz == 0 {
+			*nz = *ny
+		}
+		grid = index.NewGrid(*nx, *ny, *nz)
+	}
+	n := grid.Size()
+	m := machine.Lassen(*nodes)
+
+	var meas figures.Measurement
+	switch *lib {
+	case "kdr":
+		meas = figures.KDRIterTime(m, kind, n, solverName, *warm, *it,
+			figures.KDROptions{Tracing: !*notrace, VP: *vp})
+	case "petsc":
+		if solverName == "gmres" {
+			fmt.Fprintln(os.Stderr, "benchstencil: PETSc is not benchmarked on GMRES (restart policy differs; see the paper)")
+			os.Exit(2)
+		}
+		meas = figures.BaselineIterTime(baseline.PETSc(), m, kind, n, solverName, *warm, *it)
+	case "trilinos":
+		meas = figures.BaselineIterTime(baseline.Trilinos(), m, kind, n, solverName, *warm, *it)
+	default:
+		fmt.Fprintln(os.Stderr, "benchstencil: -lib must be kdr, petsc, or trilinos")
+		os.Exit(2)
+	}
+
+	fmt.Printf("stencil=%s solver=%s n=%d nodes=%d gpus=%d lib=%s\n",
+		kind, solverName, n, *nodes, m.NumProcs(), *lib)
+	fmt.Printf("time/iteration: %.6g s  (total for %d iterations: %.6g s)\n",
+		meas.SecondsPerIter, *it, meas.SecondsPerIter*float64(*it))
+	fmt.Printf("tasks/iteration: %.0f  inter-node traffic/iteration: %.3g MB\n",
+		meas.TasksPerIter, meas.CommBytesPerIter/1e6)
+}

@@ -1,0 +1,36 @@
+// Fig10 regenerates the paper's Figure 10: per-iteration CG execution
+// time under a stochastic background load, with a static tile mapping and
+// with the thermodynamic dynamic load balancer of Section 6.3, plus the
+// total-time reduction (the paper reports 66%).
+//
+//	fig10                # paper configuration (2^16 grid, 32 nodes, 500 iters)
+//	fig10 -iters 100     # shorter trace
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"kdrsolvers/internal/figures"
+)
+
+func main() {
+	cfg := figures.DefaultFig10()
+	flag.IntVar(&cfg.GridExp, "grid", cfg.GridExp, "grid is 2^grid x 2^grid")
+	flag.IntVar(&cfg.Nodes, "nodes", cfg.Nodes, "simulated CPU node count")
+	flag.IntVar(&cfg.Pieces, "pieces", cfg.Pieces, "domain pieces (tiles are pieces x pieces)")
+	flag.IntVar(&cfg.Iters, "iters", cfg.Iters, "CG iterations to trace")
+	flag.Float64Var(&cfg.Beta, "beta", cfg.Beta, "adaptation rate (1/s)")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed for load and balancer")
+	flag.Parse()
+
+	r := figures.Fig10(cfg)
+	fmt.Println("iteration,static_s,dynamic_s")
+	for i := range r.StaticIterTimes {
+		fmt.Printf("%d,%.6g,%.6g\n", i, r.StaticIterTimes[i], r.DynamicIterTimes[i])
+	}
+	fmt.Printf("\ntotal: static %.4g s, dynamic %.4g s\n", r.StaticTotal, r.DynamicTotal)
+	fmt.Printf("reduction from dynamic load balancing: %.1f%%  (paper reports 66%%)\n",
+		100*r.Reduction)
+	fmt.Printf("tile migrations: %d\n", r.Moves)
+}

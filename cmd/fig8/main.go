@@ -1,0 +1,45 @@
+// Fig8 regenerates the paper's Figure 8: the 4 × 3 grid of (stencil,
+// solver) subplots comparing per-iteration execution time of the KDR
+// implementation, PETSc, and Trilinos across problem sizes, on a
+// simulated 16-node (64-GPU) Lassen configuration.
+//
+//	fig8                # quick scaled-down sweep (CSV)
+//	fig8 -paper         # the paper's full 2^24 … 2^32 sweep
+//	fig8 -summary       # also print the geometric-mean improvements
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"kdrsolvers/internal/figures"
+	"kdrsolvers/internal/machine"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "run the paper's full size sweep (2^24..2^32)")
+	summary := flag.Bool("summary", true, "print geometric-mean improvements over the 3 largest sizes")
+	nodes := flag.Int("nodes", 16, "simulated node count")
+	warm := flag.Int("warmup", 5, "warmup iterations")
+	it := flag.Int("it", 20, "timed iterations")
+	flag.Parse()
+
+	sizes := figures.QuickSizes()
+	if *paper {
+		sizes = figures.PaperSizes()
+	}
+	m := machine.Lassen(*nodes)
+	rows := figures.Fig8(m, sizes, *warm, *it)
+
+	fmt.Println("stencil,solver,n,kdr_s_per_iter,petsc_s_per_iter,trilinos_s_per_iter")
+	for _, r := range rows {
+		fmt.Printf("%s,%s,%d,%.6g,%.6g,%.6g\n",
+			r.Stencil, r.Solver, r.N, r.KDR, r.PETSc, r.Trilinos)
+	}
+	if *summary {
+		s := figures.Summarize(rows, 3)
+		fmt.Printf("\ngeomean improvement over the 3 largest sizes per subplot:\n")
+		fmt.Printf("  vs PETSc:    %.1f%%  (paper reports 5.4%%)\n", 100*s.VsPETSc)
+		fmt.Printf("  vs Trilinos: %.1f%%  (paper reports 9.6%%)\n", 100*s.VsTrilinos)
+	}
+}

@@ -1,0 +1,57 @@
+// Scaling runs the artifact description's node-count sweep: the same
+// stencil problem benchmarked "for each node count, scaling from 1 to 256
+// in powers of two", reporting per-iteration time for every library and
+// the parallel efficiency of the KDR implementation. -weak switches to
+// weak scaling with -n unknowns per GPU.
+//
+//	scaling -dim 2 -solver cg -n 268435456 -min 1 -max 256
+//	scaling -weak -n 4194304
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"kdrsolvers/internal/figures"
+	"kdrsolvers/internal/sparse"
+)
+
+func main() {
+	dim := flag.Int("dim", 2, "stencil: 1=3pt-1D 2=5pt-2D 3=7pt-3D 4=27pt-3D")
+	solver := flag.String("solver", "cg", "solver: cg, bicgstab, or gmres")
+	n := flag.Int64("n", 1<<28, "unknowns")
+	minNodes := flag.Int("min", 1, "smallest node count")
+	maxNodes := flag.Int("max", 256, "largest node count")
+	warm := flag.Int("warmup", 3, "warmup iterations")
+	it := flag.Int("it", 10, "timed iterations")
+	weak := flag.Bool("weak", false, "weak scaling: treat -n as unknowns per GPU")
+	flag.Parse()
+
+	kinds := map[int]sparse.StencilKind{
+		1: sparse.Stencil1D3, 2: sparse.Stencil2D5,
+		3: sparse.Stencil3D7, 4: sparse.Stencil3D27,
+	}
+	kind, ok := kinds[*dim]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "scaling: -dim must be 1..4")
+		os.Exit(2)
+	}
+
+	var rows []figures.ScalingRow
+	if *weak {
+		rows = figures.WeakScaling(kind, *n, *solver, *minNodes, *maxNodes, *warm, *it)
+	} else {
+		rows = figures.StrongScaling(kind, *n, *solver, *minNodes, *maxNodes, *warm, *it)
+	}
+	fmt.Println("nodes,gpus,kdr_s_per_iter,petsc_s_per_iter,trilinos_s_per_iter,kdr_efficiency")
+	for _, r := range rows {
+		petsc := "NaN"
+		if r.PETSc != 0 && !math.IsNaN(r.PETSc) {
+			petsc = fmt.Sprintf("%.6g", r.PETSc)
+		}
+		fmt.Printf("%d,%d,%.6g,%s,%.6g,%.3f\n",
+			r.Nodes, r.GPUs, r.KDR, petsc, r.Trilinos, r.KDREfficiency)
+	}
+}

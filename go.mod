@@ -1,0 +1,3 @@
+module kdrsolvers
+
+go 1.22

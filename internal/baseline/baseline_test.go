@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"testing"
+
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sim"
+	"kdrsolvers/internal/sparse"
+)
+
+func testSystem(lib Library, nodes int, kind sparse.StencilKind, grid index.Grid) *System {
+	return NewSystem(lib, machine.Lassen(nodes), kind, grid)
+}
+
+func TestHaloStructure1D(t *testing.T) {
+	// A 1D 3-point stencil split across 8 procs: interior pieces have two
+	// halo sources of exactly one element (8 bytes) each.
+	s := testSystem(PETSc(), 2, sparse.Stencil1D3, index.NewGrid(1024))
+	procs := 8
+	for c := 0; c < procs; c++ {
+		want := 2
+		if c == 0 || c == procs-1 {
+			want = 1
+		}
+		if got := len(s.haloSrcs[c]); got != want {
+			t.Errorf("piece %d: %d halo sources, want %d", c, got, want)
+		}
+		for _, h := range s.haloSrcs[c] {
+			if h.bytes != 8 {
+				t.Errorf("piece %d: halo bytes = %d, want 8", c, h.bytes)
+			}
+			if h.piece != c-1 && h.piece != c+1 {
+				t.Errorf("piece %d: halo from non-neighbor %d", c, h.piece)
+			}
+		}
+	}
+}
+
+func TestHaloStructure2D(t *testing.T) {
+	// Row blocks of a 2D grid exchange one grid row (ny columns) per side.
+	const ny = 64
+	s := testSystem(PETSc(), 2, sparse.Stencil2D5, index.NewGrid(256, ny))
+	for c := 1; c < 7; c++ {
+		var total int64
+		for _, h := range s.haloSrcs[c] {
+			total += h.bytes
+		}
+		if total != 2*ny*8 {
+			t.Errorf("piece %d: halo bytes = %d, want %d", c, total, 2*ny*8)
+		}
+	}
+}
+
+func TestKernelSplit(t *testing.T) {
+	// diag + offd must equal the piece's kernel entries, and offd must be
+	// the small part.
+	s := testSystem(PETSc(), 2, sparse.Stencil2D5, index.NewGrid(128, 128))
+	row := s.op.RowRelation()
+	for c := 0; c < s.part.NumColors(); c++ {
+		kset := row.Preimage(s.part.Piece(c))
+		if s.diagK[c]+s.offdK[c] != kset.Size() {
+			t.Fatalf("piece %d: kernel split %d+%d != %d",
+				c, s.diagK[c], s.offdK[c], kset.Size())
+		}
+		if s.offdK[c] >= s.diagK[c] {
+			t.Errorf("piece %d: off-diagonal part (%d) should be small vs %d",
+				c, s.offdK[c], s.diagK[c])
+		}
+	}
+}
+
+func TestGraphsValidate(t *testing.T) {
+	for _, solver := range []string{"cg", "bicgstab", "gmres"} {
+		s := testSystem(Trilinos(), 1, sparse.Stencil1D3, index.NewGrid(4096))
+		g := s.BuildSolver(solver, 12)
+		if err := sim.Validate(g); err != nil {
+			t.Errorf("%s: %v", solver, err)
+		}
+		if g.Len() == 0 {
+			t.Errorf("%s: empty graph", solver)
+		}
+	}
+}
+
+func TestUnknownSolverPanics(t *testing.T) {
+	s := testSystem(PETSc(), 1, sparse.Stencil1D3, index.NewGrid(64))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.BuildSolver("jacobi", 1)
+}
+
+func TestProgramOrderChains(t *testing.T) {
+	// Every rank's tasks must be totally ordered: each task (except a
+	// rank's first) depends on that rank's previous task.
+	s := testSystem(PETSc(), 1, sparse.Stencil1D3, index.NewGrid(256))
+	g := s.BuildSolver("cg", 3)
+	lastOnProc := map[int]int64{}
+	for _, n := range g.Nodes {
+		if prev, ok := lastOnProc[n.Proc]; ok {
+			found := false
+			for _, d := range n.Deps {
+				if d == prev {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("task %d (%s) on rank %d does not follow task %d",
+					n.ID, n.Name, n.Proc, prev)
+			}
+		}
+		lastOnProc[n.Proc] = n.ID
+	}
+}
+
+func TestDotBlocksAllRanks(t *testing.T) {
+	// After an allreduce, the next task on every rank must depend on it.
+	s := testSystem(PETSc(), 1, sparse.Stencil1D3, index.NewGrid(256))
+	g := s.BuildSolver("cg", 1)
+	// Find the first allreduce and the next task per proc after it.
+	var reduceID int64 = -1
+	for _, n := range g.Nodes {
+		if n.Name == "allreduce" {
+			reduceID = n.ID
+			break
+		}
+	}
+	if reduceID < 0 {
+		t.Fatal("no allreduce in CG graph")
+	}
+	seen := map[int]bool{}
+	for _, n := range g.Nodes[reduceID+1:] {
+		if seen[n.Proc] {
+			continue
+		}
+		seen[n.Proc] = true
+		found := false
+		for i, d := range n.Deps {
+			if d == reduceID {
+				found = true
+				if n.DepBytes[i] != 8 {
+					t.Errorf("broadcast bytes = %d, want 8", n.DepBytes[i])
+				}
+			}
+		}
+		if !found && n.Name != "allreduce" {
+			t.Errorf("task %d (%s) on rank %d does not wait for the allreduce",
+				n.ID, n.Name, n.Proc)
+		}
+	}
+}
+
+func TestSplitSpMVBeatsMonolithic(t *testing.T) {
+	// The library-internal overlap (halo under diag compute) must help on
+	// a communication-visible problem: a 27-point 3D stencil whose halo
+	// planes are megabytes, so the hidden transfer dwarfs the extra
+	// kernel launch the split costs.
+	m := machine.Lassen(16)
+	grid := index.NewGrid(1<<8, 1<<8, 1<<8)
+	split := NewSystem(Library{Name: "s", KernelFactor: 1, SplitSpMV: true}, m, sparse.Stencil3D27, grid)
+	mono := NewSystem(Library{Name: "m", KernelFactor: 1, SplitSpMV: false}, m, sparse.Stencil3D27, grid)
+	gs := split.BuildSolver("cg", 10)
+	gm := mono.BuildSolver("cg", 10)
+	rs := sim.Simulate(gs, m, sim.Options{})
+	rm := sim.Simulate(gm, m, sim.Options{})
+	if rs.Makespan >= rm.Makespan {
+		t.Errorf("split SpMV (%g) should beat monolithic (%g)", rs.Makespan, rm.Makespan)
+	}
+}
+
+func TestPETScFasterThanTrilinos(t *testing.T) {
+	// Matches the paper's geomean ordering at scale: Trilinos is the
+	// slowest of the three.
+	m := machine.Lassen(16)
+	grid := index.NewGrid(1<<13, 1<<13)
+	gp := NewSystem(PETSc(), m, sparse.Stencil2D5, grid).BuildSolver("cg", 10)
+	gt := NewSystem(Trilinos(), m, sparse.Stencil2D5, grid).BuildSolver("cg", 10)
+	rp := sim.Simulate(gp, m, sim.Options{})
+	rt := sim.Simulate(gt, m, sim.Options{})
+	if rp.Makespan >= rt.Makespan {
+		t.Errorf("PETSc (%g) should beat Trilinos (%g)", rp.Makespan, rt.Makespan)
+	}
+}
+
+func TestLibraryProfiles(t *testing.T) {
+	p, tr := PETSc(), Trilinos()
+	if p.Name != "PETSc" || tr.Name != "Trilinos" {
+		t.Fatal("names wrong")
+	}
+	if p.KernelFactor < 1 || tr.KernelFactor < p.KernelFactor {
+		t.Fatal("kernel factors must be >= 1 and Trilinos >= PETSc")
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sparse"
+	"kdrsolvers/internal/taskrt"
+)
+
+// The virtual-mode contract: a virtual planner must record exactly the
+// same task graph as a real planner running the same program — same
+// tasks, same dependences, same costs, same placement. This is what
+// makes simulated measurements of virtual (paper-scale) runs meaningful.
+
+// graphsEqual compares every field of every node.
+func graphsEqual(t *testing.T, a, b taskrt.Graph) bool {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Logf("lengths differ: %d vs %d", a.Len(), b.Len())
+		return false
+	}
+	for i := range a.Nodes {
+		x, y := a.Nodes[i], b.Nodes[i]
+		if x.Name != y.Name || x.Proc != y.Proc || x.Cost != y.Cost ||
+			x.Traced != y.Traced || x.Host != y.Host ||
+			len(x.Deps) != len(y.Deps) {
+			t.Logf("node %d differs: %+v vs %+v", i, x, y)
+			return false
+		}
+		for d := range x.Deps {
+			if x.Deps[d] != y.Deps[d] || x.DepBytes[d] != y.DepBytes[d] {
+				t.Logf("node %d edge differs: %+v vs %+v", i, x, y)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildBoth runs the same program on a real and a virtual planner and
+// returns both graphs.
+func buildBoth(t *testing.T, program func(p *Planner)) (real, virt taskrt.Graph) {
+	t.Helper()
+	m := machine.Lassen(2)
+	pr := NewPlanner(Config{Machine: m})
+	pv := NewPlanner(Config{Machine: m, Virtual: true})
+	program(pr)
+	program(pv)
+	pr.Drain()
+	pv.Drain()
+	return pr.Runtime().Graph(), pv.Runtime().Graph()
+}
+
+// setupSystem adds a 2D stencil system to either kind of planner.
+func setupSystem(p *Planner, n int64, pieces int) {
+	op := sparse.NewStencilOperator(sparse.Stencil2D5, index.NewGrid(n/8, 8))
+	if p.Virtual() {
+		si := p.AddSolVectorVirtual(n, index.EqualPartition(index.NewSpace("D", n), pieces))
+		ri := p.AddRHSVectorVirtual(n, index.EqualPartition(index.NewSpace("R", n), pieces))
+		p.AddOperator(op, si, ri)
+	} else {
+		si := p.AddSolVector(make([]float64, n), index.EqualPartition(index.NewSpace("D", n), pieces))
+		ri := p.AddRHSVector(make([]float64, n), index.EqualPartition(index.NewSpace("R", n), pieces))
+		p.AddOperator(op, si, ri)
+	}
+	p.Finalize()
+}
+
+func TestVirtualRealGraphEquivalenceVectorOps(t *testing.T) {
+	real, virt := buildBoth(t, func(p *Planner) {
+		setupSystem(p, 64, 4)
+		w := p.AllocateWorkspace(SolShape)
+		p.Copy(w, SOL)
+		p.Axpy(w, p.Constant(2), RHS)
+		p.Scal(w, p.Constant(0.5))
+		p.Xpay(w, p.Constant(-1), SOL)
+		p.Zero(w)
+		_ = p.Dot(w, RHS)
+	})
+	if !graphsEqual(t, real, virt) {
+		t.Fatal("vector-op graphs differ between real and virtual planners")
+	}
+}
+
+func TestVirtualRealGraphEquivalenceMatmul(t *testing.T) {
+	real, virt := buildBoth(t, func(p *Planner) {
+		setupSystem(p, 64, 4)
+		y := p.AllocateWorkspace(RhsShape)
+		p.Matmul(y, SOL)
+		p.MatmulT(y, RHS)
+	})
+	if !graphsEqual(t, real, virt) {
+		t.Fatal("matmul graphs differ between real and virtual planners")
+	}
+}
+
+func TestVirtualRealGraphEquivalenceScalars(t *testing.T) {
+	real, virt := buildBoth(t, func(p *Planner) {
+		setupSystem(p, 32, 2)
+		d := p.Dot(SOL, RHS)
+		e := p.Div(d, p.Constant(3))
+		f := p.Mul(p.Neg(e), p.Sqrt(p.Sub(d, e)))
+		p.Axpy(SOL, f, RHS)
+	})
+	if !graphsEqual(t, real, virt) {
+		t.Fatal("scalar graphs differ between real and virtual planners")
+	}
+}
+
+func TestVirtualRealGraphEquivalenceTraced(t *testing.T) {
+	real, virt := buildBoth(t, func(p *Planner) {
+		setupSystem(p, 64, 4)
+		y := p.AllocateWorkspace(RhsShape)
+		for i := 0; i < 3; i++ {
+			p.Runtime().BeginTrace("iter")
+			p.Matmul(y, SOL)
+			p.Axpy(SOL, p.Dot(y, RHS), y)
+			p.Runtime().EndTrace()
+		}
+	})
+	if !graphsEqual(t, real, virt) {
+		t.Fatal("traced graphs differ between real and virtual planners")
+	}
+}
+
+// windowShape captures the structure of one iteration's subgraph with
+// deps rebased to the window start (external deps normalized to -1-lag).
+type shapeNode struct {
+	name  string
+	proc  int
+	cost  float64
+	deps  []int64
+	bytes []int64
+}
+
+func windowShape(g taskrt.Graph, lo, hi int) []shapeNode {
+	out := make([]shapeNode, 0, hi-lo)
+	for _, n := range g.Nodes[lo:hi] {
+		sn := shapeNode{name: n.Name, proc: n.Proc, cost: n.Cost}
+		for i, d := range n.Deps {
+			rel := d - int64(lo)
+			if rel < 0 {
+				rel = -1 // external producer: position-independent marker
+			}
+			sn.deps = append(sn.deps, rel)
+			sn.bytes = append(sn.bytes, n.DepBytes[i])
+		}
+		out = append(out, sn)
+	}
+	return out
+}
+
+func shapesEqual(a, b []shapeNode) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.name != y.name || x.proc != y.proc || x.cost != y.cost ||
+			len(x.deps) != len(y.deps) {
+			return false
+		}
+		for d := range x.deps {
+			if x.deps[d] != y.deps[d] || x.bytes[d] != y.bytes[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTraceReplayGraphsAreStructurallyIdentical(t *testing.T) {
+	// The dynamic-tracing model (DESIGN.md): replayed iterations must
+	// produce graphs identical in structure to the recorded one, which is
+	// what justifies charging them the memoized overhead.
+	p := NewPlanner(Config{Machine: machine.Lassen(2), Virtual: true})
+	op := sparse.NewStencilOperator(sparse.Stencil2D5, index.NewGrid(32, 32))
+	si := p.AddSolVectorVirtual(1024, index.EqualPartition(index.NewSpace("D", 1024), 4))
+	ri := p.AddRHSVectorVirtual(1024, index.EqualPartition(index.NewSpace("R", 1024), 4))
+	p.AddOperator(op, si, ri)
+	p.Finalize()
+	y := p.AllocateWorkspace(RhsShape)
+
+	marks := []int{}
+	for i := 0; i < 4; i++ {
+		marks = append(marks, p.Runtime().Graph().Len())
+		p.Runtime().BeginTrace("iter")
+		p.Matmul(y, SOL)
+		d := p.Dot(y, RHS)
+		p.Axpy(SOL, d, y)
+		p.Xpay(y, p.Neg(d), RHS)
+		p.Runtime().EndTrace()
+	}
+	p.Drain()
+	g := p.Runtime().Graph()
+	marks = append(marks, g.Len())
+
+	// Steady state begins at iteration 1: iteration 0 reads vectors that
+	// have no prior writers, so it carries fewer anti-dependence edges
+	// (exactly why warmup iterations precede timing in the protocol).
+	base := windowShape(g, marks[1], marks[2])
+	for i := 2; i+1 < len(marks); i++ {
+		if !shapesEqual(base, windowShape(g, marks[i], marks[i+1])) {
+			t.Fatalf("iteration %d window differs structurally from iteration 1", i)
+		}
+	}
+	// Task counts agree even for the recorded iteration.
+	if marks[1]-marks[0] != marks[2]-marks[1] {
+		t.Fatalf("iteration task counts differ: %d vs %d",
+			marks[1]-marks[0], marks[2]-marks[1])
+	}
+}

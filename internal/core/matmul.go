@@ -1,0 +1,222 @@
+package core
+
+import (
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/region"
+	"kdrsolvers/internal/taskrt"
+)
+
+// Matmul computes dst ← A_total · src (Section 4.1): for every operator
+// quadruple (K_ℓ, A_ℓ, i_ℓ, j_ℓ) a multiply-add y_{j_ℓ} ← A_ℓ x_{i_ℓ} +
+// y_{j_ℓ} is launched per output piece. The first task writing each
+// output piece takes write-discard privilege and zeroes the piece inline
+// (no separate zero pass costs bandwidth); later tasks into the same
+// piece carry reduction privileges, so the runtime's interference
+// analysis serializes exactly the conflicting pairs and everything else
+// overlaps. Output pieces no operator touches are zeroed explicitly
+// (the empty sum of equation 8).
+//
+// dst must be range-shaped-compatible and src domain-shaped-compatible
+// with the system (interchangeable for square systems).
+func (p *Planner) Matmul(dst, src VecID) {
+	p.mustBeFinalized()
+	dv := p.vecs[dst]
+	sv := p.vecs[src]
+	p.checkMatmulShapes(dv, sv)
+	p.runMultiOp(p.ops, dv, sv, false, false)
+}
+
+// MatmulT computes dst ← A_totalᵀ · src: the adjoint product, partitioned
+// by the domain components' canonical partitions.
+func (p *Planner) MatmulT(dst, src VecID) {
+	p.mustBeFinalized()
+	dv := p.vecs[dst]
+	sv := p.vecs[src]
+	p.checkMatmulTShapes(dv, sv)
+	p.runMultiOp(p.ops, dv, sv, true, false)
+}
+
+// PSolve computes dst ← P_total · src, applying the user-supplied
+// preconditioner components. It panics when no preconditioner was added.
+func (p *Planner) PSolve(dst, src VecID) {
+	p.mustBeFinalized()
+	if !p.HasPreconditioner() {
+		panic("core: PSolve without a preconditioner")
+	}
+	dv := p.vecs[dst]
+	sv := p.vecs[src]
+	p.runMultiOp(p.pre, dv, sv, false, true)
+}
+
+// opTarget describes where one operator writes and reads for a forward or
+// adjoint pass.
+func opTarget(op *opEntry, adjoint, pre bool) (outIdx, inIdx int, kpart, inHalo, outImage index.Partition) {
+	switch {
+	case pre:
+		return op.solIdx, op.rhsIdx, op.kpart, op.inHalo, op.outImage
+	case adjoint:
+		return op.solIdx, op.rhsIdx, op.kpartT, op.inHaloT, op.outImageT
+	default:
+		return op.rhsIdx, op.solIdx, op.kpart, op.inHalo, op.outImage
+	}
+}
+
+// runMultiOp launches the decomposed product over an operator set. Every
+// point of the output vector is zeroed exactly once before any
+// multiply-add touches it: the operator that first reaches a point zeroes
+// it inline (write-discard when its whole write set is fresh), and points
+// no operator writes get explicit zero tasks (the empty sum of
+// equation 8).
+func (p *Planner) runMultiOp(ops []opEntry, dv, sv vec, adjoint, pre bool) {
+	outComps := p.rhs
+	if adjoint || pre {
+		outComps = p.sol
+	}
+	// covered[comp][color] accumulates the points already written in this
+	// product.
+	covered := make([][]index.IntervalSet, len(outComps))
+	for i, c := range outComps {
+		covered[i] = make([]index.IntervalSet, c.part.NumColors())
+	}
+	name := "matmul"
+	if adjoint {
+		name = "matmulT"
+	} else if pre {
+		name = "psolve"
+	}
+	for oi := range ops {
+		op := &ops[oi]
+		outIdx, inIdx, kpart, inHalo, outImage := opTarget(op, adjoint, pre)
+		outComp := outComps[outIdx]
+		outReg, inReg := dv.regs[outIdx], sv.regs[inIdx]
+		for color := 0; color < outComp.part.NumColors(); color++ {
+			kset := kpart.Piece(color)
+			outSet := outImage.Piece(color)
+			if kset.Empty() || outSet.Empty() {
+				continue
+			}
+			fresh := outSet.Subtract(covered[outIdx][color])
+			covered[outIdx][color] = covered[outIdx][color].Union(outSet)
+			p.launchMultiplyAdd(name, oi, color, op, outReg, inReg,
+				outComp, kset, inHalo.Piece(color), outSet, fresh, adjoint, pre)
+		}
+	}
+	// Zero whatever no operator wrote.
+	for ci, c := range outComps {
+		for color := 0; color < c.part.NumColors(); color++ {
+			rest := c.part.Piece(color).Subtract(covered[ci][color])
+			if !rest.Empty() {
+				p.zeroPiece(dv.regs[ci], rest, c.procs[color])
+			}
+		}
+	}
+}
+
+// launchMultiplyAdd launches one multiply-add task for one output piece of
+// one operator. outSet is the task's true write set; fresh is the part of
+// it no earlier operator wrote, which the task zeroes inline before
+// accumulating. A fully fresh write set takes write-discard privilege;
+// any overlap with earlier writers takes reduction privilege, which the
+// runtime orders.
+func (p *Planner) launchMultiplyAdd(name string, opIdx, color int, op *opEntry,
+	outReg, inReg *region.Region, outComp component,
+	kset, inSet, outSet, fresh index.IntervalSet, adjoint, pre bool) {
+
+	proc := outComp.procs[color]
+	if !pre && p.mmProc != nil {
+		if q := p.mmProc(opIdx, color); q >= 0 {
+			proc = q
+		}
+	}
+	priv := region.ReduceSum
+	if fresh.Equal(outSet) {
+		priv = region.WriteDiscard
+	}
+	var run func() float64
+	if !p.virtual {
+		y := outReg.Field("v")
+		x := inReg.Field("v")
+		mat := op.mat
+		ks, fr := kset, fresh
+		run = func() float64 {
+			fr.EachInterval(func(iv index.Interval) {
+				for i := iv.Lo; i <= iv.Hi; i++ {
+					y[i] = 0
+				}
+			})
+			if adjoint {
+				mat.MultiplyAddTPart(y, x, ks)
+			} else {
+				mat.MultiplyAddPart(y, x, ks)
+			}
+			return 0
+		}
+	}
+	p.rt.Launch(taskrt.TaskSpec{
+		Name: name, Proc: proc,
+		Cost: p.mach.SpMVCost(kset.Size(), outSet.Size()),
+		Refs: []region.Ref{
+			pieceRef(outReg, outSet, priv),
+			pieceRef(inReg, inSet, region.ReadOnly),
+		},
+		Run: run,
+	})
+}
+
+// zeroPiece launches a zero-fill of one piece.
+func (p *Planner) zeroPiece(reg *region.Region, subset index.IntervalSet, proc int) {
+	var run func() float64
+	if !p.virtual {
+		d := reg.Field("v")
+		run = func() float64 {
+			subset.EachInterval(func(iv index.Interval) {
+				for i := iv.Lo; i <= iv.Hi; i++ {
+					d[i] = 0
+				}
+			})
+			return 0
+		}
+	}
+	p.rt.Launch(taskrt.TaskSpec{
+		Name: "zero", Proc: proc,
+		Cost: p.mach.Blas1Cost(subset.Size()),
+		Refs: []region.Ref{pieceRef(reg, subset, region.WriteDiscard)},
+		Run:  run,
+	})
+}
+
+// checkMatmulShapes panics unless dst matches the range components and
+// src the domain components.
+func (p *Planner) checkMatmulShapes(dv, sv vec) {
+	if len(dv.regs) != len(p.rhs) || len(sv.regs) != len(p.sol) {
+		panic("core: Matmul vector component counts do not match the system")
+	}
+	for j, c := range p.rhs {
+		if dv.regs[j].Space().Size() != c.space.Size() {
+			panic("core: Matmul destination shape mismatch")
+		}
+	}
+	for i, c := range p.sol {
+		if sv.regs[i].Space().Size() != c.space.Size() {
+			panic("core: Matmul source shape mismatch")
+		}
+	}
+}
+
+// checkMatmulTShapes panics unless dst matches the domain components and
+// src the range components.
+func (p *Planner) checkMatmulTShapes(dv, sv vec) {
+	if len(dv.regs) != len(p.sol) || len(sv.regs) != len(p.rhs) {
+		panic("core: MatmulT vector component counts do not match the system")
+	}
+	for i, c := range p.sol {
+		if dv.regs[i].Space().Size() != c.space.Size() {
+			panic("core: MatmulT destination shape mismatch")
+		}
+	}
+	for j, c := range p.rhs {
+		if sv.regs[j].Space().Size() != c.space.Size() {
+			panic("core: MatmulT source shape mismatch")
+		}
+	}
+}

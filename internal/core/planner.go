@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+
+	"kdrsolvers/internal/dpart"
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/region"
+	"kdrsolvers/internal/sparse"
+	"kdrsolvers/internal/taskrt"
+)
+
+// VecID names a logical vector managed by the planner.
+type VecID int
+
+// The two vectors every linear system starts with, as in Figure 7.
+const (
+	// SOL is the multi-component solution vector assembled by
+	// AddSolVector calls.
+	SOL VecID = 0
+	// RHS is the multi-component right-hand-side vector assembled by
+	// AddRHSVector calls.
+	RHS VecID = 1
+)
+
+// Shape says whether a vector is laid out over the domain components
+// (solution-shaped) or the range components (right-hand-side-shaped).
+type Shape int
+
+const (
+	// SolShape vectors live in R^(D_total).
+	SolShape Shape = iota
+	// RhsShape vectors live in R^(R_total).
+	RhsShape
+)
+
+// Config configures a planner.
+type Config struct {
+	// Machine provides the cost model for simulated task costs. Required.
+	Machine machine.Machine
+	// Mapper assigns vector pieces (and by default compute tasks) to
+	// processors. Defaults to a round-robin over the machine's
+	// processors.
+	Mapper taskrt.Mapper
+	// Virtual disables physical storage and real arithmetic: tasks are
+	// recorded with costs for the simulator but perform no work. Virtual
+	// planners scale to the paper's 2^32-unknown problems.
+	Virtual bool
+	// MatmulProc, if non-nil, overrides the processor for the
+	// multiply-add task of operator op and output color c. This is the
+	// hook the dynamic load balancer of Section 6.3 uses to migrate
+	// matrix tiles between nodes. Returning a negative value keeps the
+	// default placement (the owner of the output piece).
+	MatmulProc func(op, color int) int
+}
+
+// component is one domain or range component with its canonical partition
+// and the processor owning each piece.
+type component struct {
+	space index.Space
+	part  index.Partition
+	procs []int
+}
+
+// vec is one logical vector: one region per component.
+type vec struct {
+	shape Shape
+	regs  []*region.Region
+}
+
+// opEntry is one (K_ℓ, A_ℓ, i_ℓ, j_ℓ) quadruple with its derived
+// co-partitions.
+type opEntry struct {
+	mat    sparse.Matrix
+	solIdx int // i_ℓ: domain component the operator reads (forward)
+	rhsIdx int // j_ℓ: range component the operator writes (forward)
+
+	// Forward product partitions, derived from the output component's
+	// canonical partition: kpart[c] is the kernel piece writing output
+	// piece c, inHalo[c] is the input data it reads, and outImage[c] is
+	// the true write set (the row-relation image of the kernel piece) —
+	// operators writing disjoint parts of one component stay parallel.
+	kpart, inHalo, outImage index.Partition
+	// Adjoint product partitions, derived from the input component's
+	// canonical partition.
+	kpartT, inHaloT, outImageT index.Partition
+}
+
+// Planner assembles a multi-operator system and exposes the mathematical
+// operations KSMs are written against. Methods are not safe for
+// concurrent use; the expected client is one solver goroutine (the tasks
+// it launches run concurrently under the runtime).
+type Planner struct {
+	rt      *taskrt.Runtime
+	mach    machine.Machine
+	mapper  taskrt.Mapper
+	virtual bool
+	mmProc  func(op, color int) int
+
+	sol, rhs  []component
+	ops, pre  []opEntry
+	vecs      []vec
+	finalized bool
+	colorBase int
+	scalarSeq int
+}
+
+// NewPlanner returns an empty planner running on a fresh task runtime.
+func NewPlanner(cfg Config) *Planner {
+	mapper := cfg.Mapper
+	if mapper == nil {
+		mapper = taskrt.RoundRobinMapper{NumProcs: cfg.Machine.NumProcs()}
+	}
+	return &Planner{
+		rt:      taskrt.New(),
+		mach:    cfg.Machine,
+		mapper:  mapper,
+		virtual: cfg.Virtual,
+		mmProc:  cfg.MatmulProc,
+		vecs:    make([]vec, 2), // SOL and RHS, filled by Add*Vector
+	}
+}
+
+// Runtime returns the underlying task runtime (for Drain, Graph, Stats,
+// and trace control).
+func (p *Planner) Runtime() *taskrt.Runtime { return p.rt }
+
+// Machine returns the machine model used for task costs.
+func (p *Planner) Machine() machine.Machine { return p.mach }
+
+// Virtual reports whether the planner skips real arithmetic.
+func (p *Planner) Virtual() bool { return p.virtual }
+
+// addComponent registers a component with its canonical partition and
+// assigns piece owners through the mapper.
+func (p *Planner) addComponent(name string, n int64, part index.Partition, data []float64) (component, *region.Region) {
+	space := index.NewSpace(name, n)
+	if part.NumColors() == 0 {
+		part = index.EqualPartition(space, 1)
+	}
+	if part.Space.Size() != n {
+		panic(fmt.Sprintf("core: canonical partition covers %d points, component has %d",
+			part.Space.Size(), n))
+	}
+	if !part.Complete() || !part.Disjoint() {
+		panic("core: canonical partitions must be complete and disjoint")
+	}
+	procs := make([]int, part.NumColors())
+	for c := range procs {
+		procs[c] = p.mapper.SelectProc("vector", p.colorBase+c)
+	}
+	p.colorBase += part.NumColors()
+
+	var reg *region.Region
+	if p.virtual {
+		reg = region.NewVirtual(name, space)
+	} else if data != nil {
+		reg = region.Adopt(name, space, "v", data)
+	} else {
+		reg = region.New(name, space, "v")
+	}
+	return component{space: space, part: part, procs: procs}, reg
+}
+
+// AddSolVector supplies one component of the initial solution vector,
+// adopting the caller's storage in place (no copy). An empty partition
+// means a single piece. It returns the component's index i for use in
+// AddOperator. Real-mode planners require data; virtual planners ignore
+// it and only need its length via n.
+func (p *Planner) AddSolVector(data []float64, part index.Partition) int {
+	p.mustNotBeFinalized()
+	comp, reg := p.addComponent(fmt.Sprintf("sol%d", len(p.sol)), int64(len(data)), part, data)
+	p.sol = append(p.sol, comp)
+	p.vecs[SOL].shape = SolShape
+	p.vecs[SOL].regs = append(p.vecs[SOL].regs, reg)
+	return len(p.sol) - 1
+}
+
+// AddSolVectorVirtual is AddSolVector for virtual planners, where no real
+// storage exists: only the component's size is needed.
+func (p *Planner) AddSolVectorVirtual(n int64, part index.Partition) int {
+	p.mustNotBeFinalized()
+	if !p.virtual {
+		panic("core: AddSolVectorVirtual requires a virtual planner")
+	}
+	comp, reg := p.addComponent(fmt.Sprintf("sol%d", len(p.sol)), n, part, nil)
+	p.sol = append(p.sol, comp)
+	p.vecs[SOL].shape = SolShape
+	p.vecs[SOL].regs = append(p.vecs[SOL].regs, reg)
+	return len(p.sol) - 1
+}
+
+// AddRHSVector supplies one component of the right-hand-side vector,
+// adopting the caller's storage in place. It returns the component's
+// index j for use in AddOperator.
+func (p *Planner) AddRHSVector(data []float64, part index.Partition) int {
+	p.mustNotBeFinalized()
+	comp, reg := p.addComponent(fmt.Sprintf("rhs%d", len(p.rhs)), int64(len(data)), part, data)
+	p.rhs = append(p.rhs, comp)
+	p.vecs[RHS].shape = RhsShape
+	p.vecs[RHS].regs = append(p.vecs[RHS].regs, reg)
+	return len(p.rhs) - 1
+}
+
+// AddRHSVectorVirtual is AddRHSVector for virtual planners.
+func (p *Planner) AddRHSVectorVirtual(n int64, part index.Partition) int {
+	p.mustNotBeFinalized()
+	if !p.virtual {
+		panic("core: AddRHSVectorVirtual requires a virtual planner")
+	}
+	comp, reg := p.addComponent(fmt.Sprintf("rhs%d", len(p.rhs)), n, part, nil)
+	p.rhs = append(p.rhs, comp)
+	p.vecs[RHS].shape = RhsShape
+	p.vecs[RHS].regs = append(p.vecs[RHS].regs, reg)
+	return len(p.rhs) - 1
+}
+
+// AddOperator adds the quadruple (K, A, i, j): matrix mat maps solution
+// component solIdx to right-hand-side component rhsIdx. Any number of
+// operators may share a (solIdx, rhsIdx) pair, and the same matrix may be
+// added several times (aliasing); overlapping writes are summed
+// (equation 8).
+func (p *Planner) AddOperator(mat sparse.Matrix, solIdx, rhsIdx int) {
+	p.mustNotBeFinalized()
+	if solIdx < 0 || solIdx >= len(p.sol) || rhsIdx < 0 || rhsIdx >= len(p.rhs) {
+		panic("core: AddOperator component index out of range")
+	}
+	if mat.Domain().Size() != p.sol[solIdx].space.Size() {
+		panic(fmt.Sprintf("core: operator domain %d != component %d size %d",
+			mat.Domain().Size(), solIdx, p.sol[solIdx].space.Size()))
+	}
+	if mat.Range().Size() != p.rhs[rhsIdx].space.Size() {
+		panic(fmt.Sprintf("core: operator range %d != component %d size %d",
+			mat.Range().Size(), rhsIdx, p.rhs[rhsIdx].space.Size()))
+	}
+	p.ops = append(p.ops, opEntry{mat: mat, solIdx: solIdx, rhsIdx: rhsIdx})
+}
+
+// AddPreconditioner adds a component of the preconditioner P_total, a map
+// from the range space back to the domain space: mat maps right-hand-side
+// component rhsIdx to solution component solIdx.
+func (p *Planner) AddPreconditioner(mat sparse.Matrix, solIdx, rhsIdx int) {
+	p.mustNotBeFinalized()
+	if solIdx < 0 || solIdx >= len(p.sol) || rhsIdx < 0 || rhsIdx >= len(p.rhs) {
+		panic("core: AddPreconditioner component index out of range")
+	}
+	if mat.Domain().Size() != p.rhs[rhsIdx].space.Size() {
+		panic("core: preconditioner domain must match the range component")
+	}
+	if mat.Range().Size() != p.sol[solIdx].space.Size() {
+		panic("core: preconditioner range must match the domain component")
+	}
+	p.pre = append(p.pre, opEntry{mat: mat, solIdx: solIdx, rhsIdx: rhsIdx})
+}
+
+// Finalize derives the co-partitions of every operator from the canonical
+// partitions using the universal projection operators, after which the
+// mathematical operations become available. Finalize must be called
+// exactly once, after all Add* calls.
+func (p *Planner) Finalize() {
+	p.mustNotBeFinalized()
+	if len(p.sol) == 0 || len(p.rhs) == 0 {
+		panic("core: a system needs at least one solution and one right-hand-side component")
+	}
+	for i := range p.ops {
+		op := &p.ops[i]
+		row, col := op.mat.RowRelation(), op.mat.ColRelation()
+		// Forward: partition the kernel by the output (range) partition,
+		// then project to the input halo (Section 3.1).
+		outPart := p.rhs[op.rhsIdx].part
+		op.kpart = dpart.PreimagePartition(row, outPart)
+		op.inHalo = dpart.ImagePartition(col, op.kpart)
+		op.outImage = intersectPieces(dpart.ImagePartition(row, op.kpart), outPart)
+		// Adjoint: the roles of the relations swap.
+		inPart := p.sol[op.solIdx].part
+		op.kpartT = dpart.PreimagePartition(col, inPart)
+		op.inHaloT = dpart.ImagePartition(row, op.kpartT)
+		op.outImageT = intersectPieces(dpart.ImagePartition(col, op.kpartT), inPart)
+	}
+	for i := range p.pre {
+		op := &p.pre[i]
+		row, col := op.mat.RowRelation(), op.mat.ColRelation()
+		// A preconditioner writes a solution component: its output
+		// partition is the domain component's canonical partition.
+		outPart := p.sol[op.solIdx].part
+		op.kpart = dpart.PreimagePartition(row, outPart)
+		op.inHalo = dpart.ImagePartition(col, op.kpart)
+		op.outImage = intersectPieces(dpart.ImagePartition(row, op.kpart), outPart)
+	}
+	p.finalized = true
+}
+
+// intersectPieces clips each piece of an image partition to the
+// corresponding canonical piece (padding entries in some formats can
+// image onto rows outside the piece that derived the kernel).
+func intersectPieces(img, canon index.Partition) index.Partition {
+	pieces := make([]index.IntervalSet, img.NumColors())
+	for c := range pieces {
+		pieces[c] = img.Piece(c).Intersect(canon.Piece(c))
+	}
+	return index.NewPartition(img.Space, pieces)
+}
+
+// IsSquare reports whether every solution component matches the
+// same-indexed right-hand-side component in count and size, so that
+// solution- and range-shaped vectors are interchangeable (required by CG,
+// BiCGStab, and friends).
+func (p *Planner) IsSquare() bool {
+	if len(p.sol) != len(p.rhs) {
+		return false
+	}
+	for i := range p.sol {
+		if p.sol[i].space.Size() != p.rhs[i].space.Size() {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPreconditioner reports whether any preconditioner component was
+// added.
+func (p *Planner) HasPreconditioner() bool { return len(p.pre) > 0 }
+
+// AllocateWorkspace creates a zeroed workspace vector with the given
+// shape and returns its ID.
+func (p *Planner) AllocateWorkspace(shape Shape) VecID {
+	p.mustBeFinalized()
+	comps := p.comps(shape)
+	v := vec{shape: shape}
+	for i, c := range comps {
+		name := fmt.Sprintf("ws%d.%d", len(p.vecs), i)
+		if p.virtual {
+			v.regs = append(v.regs, region.NewVirtual(name, c.space))
+		} else {
+			v.regs = append(v.regs, region.New(name, c.space, "v"))
+		}
+	}
+	p.vecs = append(p.vecs, v)
+	return VecID(len(p.vecs) - 1)
+}
+
+// comps returns the component list for a shape.
+func (p *Planner) comps(shape Shape) []component {
+	if shape == SolShape {
+		return p.sol
+	}
+	return p.rhs
+}
+
+// vecComps returns a vector's regions and matching components.
+func (p *Planner) vecComps(id VecID) (vec, []component) {
+	v := p.vecs[id]
+	return v, p.comps(v.shape)
+}
+
+// SolData returns the storage of solution component i, through which
+// callers observe the computed solution after Drain. Real planners only.
+func (p *Planner) SolData(i int) []float64 {
+	return p.vecs[SOL].regs[i].Field("v")
+}
+
+// VecData returns the storage of component comp of any vector, for tests
+// and examples. Real planners only.
+func (p *Planner) VecData(id VecID, comp int) []float64 {
+	return p.vecs[id].regs[comp].Field("v")
+}
+
+// Drain blocks until all launched tasks complete.
+func (p *Planner) Drain() { p.rt.Drain() }
+
+// NumSolComponents returns the number of solution components.
+func (p *Planner) NumSolComponents() int { return len(p.sol) }
+
+// NumRHSComponents returns the number of right-hand-side components.
+func (p *Planner) NumRHSComponents() int { return len(p.rhs) }
+
+// NumOperators returns the number of operator quadruples.
+func (p *Planner) NumOperators() int { return len(p.ops) }
+
+func (p *Planner) mustBeFinalized() {
+	if !p.finalized {
+		panic("core: call Finalize before using planner operations")
+	}
+}
+
+func (p *Planner) mustNotBeFinalized() {
+	if p.finalized {
+		panic("core: planner already finalized")
+	}
+}
+
+// checkShapes panics unless both vectors exist and have compatible
+// component structure for an elementwise operation. Square systems make
+// SolShape and RhsShape interchangeable.
+func (p *Planner) checkCompatible(dst, src VecID) ([]component, vec, vec) {
+	dv, dc := p.vecComps(dst)
+	sv, sc := p.vecComps(src)
+	if len(dc) != len(sc) {
+		panic("core: vectors have different component counts")
+	}
+	for i := range dc {
+		if dc[i].space.Size() != sc[i].space.Size() {
+			panic(fmt.Sprintf("core: component %d size mismatch: %d vs %d",
+				i, dc[i].space.Size(), sc[i].space.Size()))
+		}
+	}
+	return dc, dv, sv
+}

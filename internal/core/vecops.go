@@ -1,0 +1,287 @@
+package core
+
+import (
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/region"
+	"kdrsolvers/internal/taskrt"
+)
+
+// The solver-facing vector operations of Figure 6. Each logical operation
+// becomes one task per component piece (an index launch over the
+// canonical partition), placed on the piece's owning processor. Real
+// planners perform the arithmetic; virtual planners record only costs.
+
+// pieceRef builds a region reference for one piece of one vector
+// component.
+func pieceRef(reg *region.Region, subset index.IntervalSet, priv region.Privilege) region.Ref {
+	return region.Ref{Region: reg.ID(), Field: "v", Subset: subset, Priv: priv}
+}
+
+// eachPiece iterates the canonical pieces of the dst components.
+func eachPiece(comps []component, fn func(ci, color int, subset index.IntervalSet, proc int)) {
+	for ci, c := range comps {
+		for color := 0; color < c.part.NumColors(); color++ {
+			fn(ci, color, c.part.Piece(color), c.procs[color])
+		}
+	}
+}
+
+// Zero sets dst to the zero vector.
+func (p *Planner) Zero(dst VecID) {
+	p.mustBeFinalized()
+	dv, dc := p.vecComps(dst)
+	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		var run func() float64
+		if !p.virtual {
+			d := dv.regs[ci].Field("v")
+			run = func() float64 {
+				subset.EachInterval(func(iv index.Interval) {
+					for i := iv.Lo; i <= iv.Hi; i++ {
+						d[i] = 0
+					}
+				})
+				return 0
+			}
+		}
+		p.rt.Launch(taskrt.TaskSpec{
+			Name: "zero", Proc: proc,
+			Cost: p.mach.Blas1Cost(subset.Size()),
+			Refs: []region.Ref{pieceRef(dv.regs[ci], subset, region.WriteDiscard)},
+			Run:  run,
+		})
+	})
+}
+
+// Copy performs dst ← src componentwise.
+func (p *Planner) Copy(dst, src VecID) {
+	p.mustBeFinalized()
+	if dst == src {
+		return
+	}
+	dc, dv, sv := p.checkCompatible(dst, src)
+	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		var run func() float64
+		if !p.virtual {
+			d, s := dv.regs[ci].Field("v"), sv.regs[ci].Field("v")
+			run = func() float64 {
+				subset.EachInterval(func(iv index.Interval) {
+					copy(d[iv.Lo:iv.Hi+1], s[iv.Lo:iv.Hi+1])
+				})
+				return 0
+			}
+		}
+		p.rt.Launch(taskrt.TaskSpec{
+			Name: "copy", Proc: proc,
+			Cost: p.mach.CopyCost(subset.Size()),
+			Refs: []region.Ref{
+				pieceRef(dv.regs[ci], subset, region.WriteDiscard),
+				pieceRef(sv.regs[ci], subset, region.ReadOnly),
+			},
+			Run: run,
+		})
+	})
+}
+
+// Scal performs dst ← α·dst.
+func (p *Planner) Scal(dst VecID, alpha *Scalar) {
+	p.mustBeFinalized()
+	dv, dc := p.vecComps(dst)
+	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		var run func() float64
+		if !p.virtual {
+			d := dv.regs[ci].Field("v")
+			a := alpha.reg.Field("s")
+			run = func() float64 {
+				av := a[0]
+				subset.EachInterval(func(iv index.Interval) {
+					for i := iv.Lo; i <= iv.Hi; i++ {
+						d[i] *= av
+					}
+				})
+				return 0
+			}
+		}
+		p.rt.Launch(taskrt.TaskSpec{
+			Name: "scal", Proc: proc,
+			Cost: p.mach.ScalCost(subset.Size()),
+			Refs: []region.Ref{
+				pieceRef(dv.regs[ci], subset, region.ReadWrite),
+				alpha.ref(region.ReadOnly),
+			},
+			Run: run,
+		})
+	})
+}
+
+// Axpy performs dst ← dst + α·src.
+func (p *Planner) Axpy(dst VecID, alpha *Scalar, src VecID) {
+	p.mustBeFinalized()
+	dc, dv, sv := p.checkCompatible(dst, src)
+	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		var run func() float64
+		if !p.virtual {
+			d, s := dv.regs[ci].Field("v"), sv.regs[ci].Field("v")
+			a := alpha.reg.Field("s")
+			run = func() float64 {
+				av := a[0]
+				subset.EachInterval(func(iv index.Interval) {
+					for i := iv.Lo; i <= iv.Hi; i++ {
+						d[i] += av * s[i]
+					}
+				})
+				return 0
+			}
+		}
+		p.rt.Launch(taskrt.TaskSpec{
+			Name: "axpy", Proc: proc,
+			Cost: p.mach.AxpyCost(subset.Size()),
+			Refs: []region.Ref{
+				pieceRef(dv.regs[ci], subset, region.ReadWrite),
+				pieceRef(sv.regs[ci], subset, region.ReadOnly),
+				alpha.ref(region.ReadOnly),
+			},
+			Run: run,
+		})
+	})
+}
+
+// Xpay performs dst ← src + α·dst.
+func (p *Planner) Xpay(dst VecID, alpha *Scalar, src VecID) {
+	p.mustBeFinalized()
+	dc, dv, sv := p.checkCompatible(dst, src)
+	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		var run func() float64
+		if !p.virtual {
+			d, s := dv.regs[ci].Field("v"), sv.regs[ci].Field("v")
+			a := alpha.reg.Field("s")
+			run = func() float64 {
+				av := a[0]
+				subset.EachInterval(func(iv index.Interval) {
+					for i := iv.Lo; i <= iv.Hi; i++ {
+						d[i] = s[i] + av*d[i]
+					}
+				})
+				return 0
+			}
+		}
+		p.rt.Launch(taskrt.TaskSpec{
+			Name: "xpay", Proc: proc,
+			Cost: p.mach.AxpyCost(subset.Size()),
+			Refs: []region.Ref{
+				pieceRef(dv.regs[ci], subset, region.ReadWrite),
+				pieceRef(sv.regs[ci], subset, region.ReadOnly),
+				alpha.ref(region.ReadOnly),
+			},
+			Run: run,
+		})
+	})
+}
+
+// Dot computes the inner product v·w as a deferred scalar. Per-piece
+// partial dots run on the piece owners; a reduction task on processor 0
+// then combines the partials in deterministic (color) order, paying the
+// machine's allreduce cost. This is the global synchronization point of
+// every Krylov iteration.
+func (p *Planner) Dot(v, w VecID) *Scalar {
+	p.mustBeFinalized()
+	vc, vv, wv := p.checkCompatible(v, w)
+
+	// Count total pieces for the scratch region.
+	total := 0
+	for _, c := range vc {
+		total += c.part.NumColors()
+	}
+	var scratch *region.Region
+	if p.virtual {
+		scratch = region.NewVirtual("dotscratch", index.NewSpace("P", int64(total)))
+	} else {
+		scratch = region.New("dotscratch", index.NewSpace("P", int64(total)), "s")
+	}
+
+	slot := 0
+	eachPiece(vc, func(ci, color int, subset index.IntervalSet, proc int) {
+		mySlot := int64(slot)
+		slot++
+		var run func() float64
+		if !p.virtual {
+			a, b := vv.regs[ci].Field("v"), wv.regs[ci].Field("v")
+			out := scratch.Field("s")
+			run = func() float64 {
+				var sum float64
+				subset.EachInterval(func(iv index.Interval) {
+					for i := iv.Lo; i <= iv.Hi; i++ {
+						sum += a[i] * b[i]
+					}
+				})
+				out[mySlot] = sum
+				return sum
+			}
+		}
+		p.rt.Launch(taskrt.TaskSpec{
+			Name: "dot.partial", Proc: proc,
+			Cost: p.mach.DotCost(subset.Size()),
+			Refs: []region.Ref{
+				pieceRef(vv.regs[ci], subset, region.ReadOnly),
+				pieceRef(wv.regs[ci], subset, region.ReadOnly),
+				{Region: scratch.ID(), Field: "s", Subset: index.Span(mySlot, mySlot), Priv: region.WriteDiscard},
+			},
+			Run: run,
+		})
+	})
+
+	out := p.newScalar("dot", 0)
+	var run func() float64
+	if !p.virtual {
+		in := scratch.Field("s")
+		dst := out.reg.Field("s")
+		run = func() float64 {
+			var sum float64
+			for _, v := range in {
+				sum += v
+			}
+			dst[0] = sum
+			return sum
+		}
+	}
+	out.fut = p.rt.Launch(taskrt.TaskSpec{
+		Name: "dot.reduce", Proc: 0,
+		// The reduce models the MPI_Allreduce tree the real machine pays.
+		Cost: p.mach.AllReduceTime(),
+		Refs: []region.Ref{
+			{Region: scratch.ID(), Field: "s", Subset: index.Span(0, int64(total)-1), Priv: region.ReadOnly},
+			out.ref(region.WriteDiscard),
+		},
+		Run: run,
+	})
+	return out
+}
+
+// Norm2 returns the Euclidean norm of v as a deferred scalar.
+func (p *Planner) Norm2(v VecID) *Scalar {
+	return p.Sqrt(p.Dot(v, v))
+}
+
+// AxpyConst and friends are conveniences over constant scalars.
+
+// AxpyConst performs dst ← dst + α·src for a compile-time α.
+func (p *Planner) AxpyConst(dst VecID, alpha float64, src VecID) {
+	p.Axpy(dst, p.Constant(alpha), src)
+}
+
+// ScalConst performs dst ← α·dst for a compile-time α.
+func (p *Planner) ScalConst(dst VecID, alpha float64) {
+	p.Scal(dst, p.Constant(alpha))
+}
+
+// vectorCostElems reports the total element count of a shape, used by
+// benchmarks for sanity checks.
+func (p *Planner) vectorCostElems(shape Shape) int64 {
+	var n int64
+	for _, c := range p.comps(shape) {
+		n += c.space.Size()
+	}
+	return n
+}
+
+// TotalUnknowns returns the size of the total domain space D_total.
+func (p *Planner) TotalUnknowns() int64 { return p.vectorCostElems(SolShape) }

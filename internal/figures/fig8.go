@@ -1,0 +1,125 @@
+package figures
+
+import (
+	"math"
+
+	"kdrsolvers/internal/baseline"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sparse"
+)
+
+// Fig8Row is one point of the Figure 8 grid: a (stencil, solver, size)
+// cell with per-iteration times for the three libraries. PETSc is NaN for
+// GMRES (excluded in the paper: its restart policy differs).
+type Fig8Row struct {
+	Stencil  sparse.StencilKind
+	Solver   string
+	N        int64
+	KDR      float64
+	PETSc    float64
+	Trilinos float64
+}
+
+// Fig8Stencils and Fig8Solvers enumerate the 4 × 3 subplot grid.
+var (
+	Fig8Stencils = []sparse.StencilKind{
+		sparse.Stencil1D3, sparse.Stencil2D5, sparse.Stencil3D7, sparse.Stencil3D27,
+	}
+	Fig8Solvers = []string{"cg", "bicgstab", "gmres"}
+)
+
+// PaperSizes returns the paper's problem-size sweep, 2^24 … 2^32 in
+// powers of two.
+func PaperSizes() []int64 {
+	var out []int64
+	for e := 24; e <= 32; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}
+
+// QuickSizes returns a scaled-down sweep for fast regression runs,
+// preserving the small-to-large shape.
+func QuickSizes() []int64 {
+	return []int64{1 << 20, 1 << 24, 1 << 28}
+}
+
+// Fig8 runs the full grid on the paper's 16-node (64-GPU) Lassen
+// configuration.
+func Fig8(m machine.Machine, sizes []int64, warmup, timed int) []Fig8Row {
+	var rows []Fig8Row
+	for _, st := range Fig8Stencils {
+		for _, sv := range Fig8Solvers {
+			for _, n := range sizes {
+				row := Fig8Row{Stencil: st, Solver: sv, N: n}
+				row.KDR = KDRIterTime(m, st, n, sv, warmup, timed,
+					KDROptions{Tracing: true}).SecondsPerIter
+				if sv == "gmres" {
+					row.PETSc = math.NaN()
+				} else {
+					row.PETSc = BaselineIterTime(baseline.PETSc(), m, st, n, sv,
+						warmup, timed).SecondsPerIter
+				}
+				row.Trilinos = BaselineIterTime(baseline.Trilinos(), m, st, n, sv,
+					warmup, timed).SecondsPerIter
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// Summary is the paper's headline statistic: geometric-mean improvement
+// of KDR over each baseline across the three largest problem sizes of
+// every subplot (the paper reports 9.6% over Trilinos and 5.4% over
+// PETSc).
+type Summary struct {
+	// VsPETSc and VsTrilinos are fractional improvements (0.05 = 5%
+	// less time per iteration than the baseline).
+	VsPETSc, VsTrilinos float64
+}
+
+// Summarize computes the geometric-mean improvements over the top
+// `largest` sizes of each (stencil, solver) cell.
+func Summarize(rows []Fig8Row, largest int) Summary {
+	type cell struct {
+		st sparse.StencilKind
+		sv string
+	}
+	bySubplot := map[cell][]Fig8Row{}
+	for _, r := range rows {
+		c := cell{r.Stencil, r.Solver}
+		bySubplot[c] = append(bySubplot[c], r)
+	}
+	var logP, logT []float64
+	for _, rs := range bySubplot {
+		// Rows are appended in increasing size order.
+		lo := len(rs) - largest
+		if lo < 0 {
+			lo = 0
+		}
+		for _, r := range rs[lo:] {
+			if !math.IsNaN(r.PETSc) && r.KDR > 0 {
+				logP = append(logP, math.Log(r.PETSc/r.KDR))
+			}
+			if !math.IsNaN(r.Trilinos) && r.KDR > 0 {
+				logT = append(logT, math.Log(r.Trilinos/r.KDR))
+			}
+		}
+	}
+	return Summary{
+		VsPETSc:    math.Exp(mean(logP)) - 1,
+		VsTrilinos: math.Exp(mean(logT)) - 1,
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

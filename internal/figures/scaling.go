@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"kdrsolvers/internal/baseline"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sparse"
+)
+
+// The artifact description repeats every Figure 8 benchmark "for each
+// node count (in our case, scaling from 1 to 256 in powers of two)".
+// StrongScaling reproduces that protocol: a fixed problem swept across
+// machine sizes.
+
+// ScalingRow is one (node count) point of a strong-scaling sweep.
+type ScalingRow struct {
+	Nodes    int
+	GPUs     int
+	KDR      float64
+	PETSc    float64
+	Trilinos float64
+	// KDREfficiency is the parallel efficiency of the KDR row relative
+	// to the smallest machine in the sweep: t₁·p₁ / (tₚ·p).
+	KDREfficiency float64
+}
+
+// WeakScaling measures per-iteration time with fixed work per GPU
+// (perGPU unknowns) across node counts: flat curves mean perfect weak
+// scaling; the upward drift is communication and collective latency.
+func WeakScaling(kind sparse.StencilKind, perGPU int64, solver string,
+	minNodes, maxNodes, warmup, timed int) []ScalingRow {
+	var rows []ScalingRow
+	var base float64
+	for nodes := minNodes; nodes <= maxNodes; nodes *= 2 {
+		m := machine.Lassen(nodes)
+		n := perGPU * int64(m.NumProcs())
+		row := ScalingRow{Nodes: nodes, GPUs: m.NumProcs()}
+		row.KDR = KDRIterTime(m, kind, n, solver, warmup, timed,
+			KDROptions{Tracing: true}).SecondsPerIter
+		if solver != "gmres" {
+			row.PETSc = BaselineIterTime(baseline.PETSc(), m, kind, n, solver,
+				warmup, timed).SecondsPerIter
+		}
+		row.Trilinos = BaselineIterTime(baseline.Trilinos(), m, kind, n, solver,
+			warmup, timed).SecondsPerIter
+		if base == 0 {
+			base = row.KDR
+		}
+		// Weak-scaling efficiency: base time over current time.
+		row.KDREfficiency = base / row.KDR
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// StrongScaling measures per-iteration time for a fixed problem across
+// node counts (powers of two from minNodes to maxNodes).
+func StrongScaling(kind sparse.StencilKind, n int64, solver string,
+	minNodes, maxNodes, warmup, timed int) []ScalingRow {
+	var rows []ScalingRow
+	var base float64
+	var baseGPUs int
+	for nodes := minNodes; nodes <= maxNodes; nodes *= 2 {
+		m := machine.Lassen(nodes)
+		row := ScalingRow{Nodes: nodes, GPUs: m.NumProcs()}
+		row.KDR = KDRIterTime(m, kind, n, solver, warmup, timed,
+			KDROptions{Tracing: true}).SecondsPerIter
+		if solver != "gmres" {
+			row.PETSc = BaselineIterTime(baseline.PETSc(), m, kind, n, solver,
+				warmup, timed).SecondsPerIter
+		}
+		row.Trilinos = BaselineIterTime(baseline.Trilinos(), m, kind, n, solver,
+			warmup, timed).SecondsPerIter
+		if base == 0 {
+			base = row.KDR
+			baseGPUs = row.GPUs
+		}
+		row.KDREfficiency = (base * float64(baseGPUs)) / (row.KDR * float64(row.GPUs))
+		rows = append(rows, row)
+	}
+	return rows
+}

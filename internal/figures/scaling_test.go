@@ -1,0 +1,79 @@
+package figures
+
+import (
+	"testing"
+
+	"kdrsolvers/internal/sparse"
+)
+
+func TestStrongScalingShape(t *testing.T) {
+	// A large problem must speed up with more nodes, with efficiency
+	// decaying (communication and fixed costs grow relative to the
+	// shrinking per-GPU work).
+	rows := StrongScaling(sparse.Stencil2D5, 1<<28, "cg", 2, 64, 2, 4)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2..64 nodes)", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].KDR >= rows[i-1].KDR {
+			t.Errorf("no speedup from %d to %d nodes: %g -> %g",
+				rows[i-1].Nodes, rows[i].Nodes, rows[i-1].KDR, rows[i].KDR)
+		}
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.KDREfficiency != 1 {
+		t.Errorf("base efficiency = %g, want 1", first.KDREfficiency)
+	}
+	if last.KDREfficiency >= first.KDREfficiency {
+		t.Errorf("efficiency should decay with scale: %g -> %g",
+			first.KDREfficiency, last.KDREfficiency)
+	}
+	if last.KDREfficiency <= 0.1 {
+		t.Errorf("efficiency implausibly low at 64 nodes: %g", last.KDREfficiency)
+	}
+}
+
+func TestStrongScalingSmallProblemSaturates(t *testing.T) {
+	// A small problem stops scaling: per-iteration time at 64 nodes is
+	// no better than at 16 (latency and overhead floor).
+	rows := StrongScaling(sparse.Stencil1D3, 1<<20, "cg", 16, 64, 2, 4)
+	if rows[len(rows)-1].KDR < rows[0].KDR*0.7 {
+		t.Errorf("small problem should not keep scaling: %g -> %g",
+			rows[0].KDR, rows[len(rows)-1].KDR)
+	}
+}
+
+func TestStrongScalingGMRESSkipsPETSc(t *testing.T) {
+	rows := StrongScaling(sparse.Stencil2D5, 1<<24, "gmres", 4, 8, 1, 2)
+	for _, r := range rows {
+		if r.PETSc != 0 {
+			t.Fatalf("PETSc should be absent for GMRES: %+v", r)
+		}
+		if r.KDR <= 0 || r.Trilinos <= 0 {
+			t.Fatalf("missing measurement: %+v", r)
+		}
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	// With fixed per-GPU work, per-iteration time grows only mildly with
+	// node count (collectives and halos), never shrinks below the base.
+	rows := WeakScaling(sparse.Stencil2D5, 1<<22, "cg", 2, 64, 2, 4)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base := rows[0].KDR
+	for _, r := range rows[1:] {
+		if r.KDR < base*0.95 {
+			t.Errorf("weak scaling cannot speed up: %g at %d nodes vs base %g",
+				r.KDR, r.Nodes, base)
+		}
+		if r.KDR > base*3 {
+			t.Errorf("weak scaling overhead implausible: %g at %d nodes vs base %g",
+				r.KDR, r.Nodes, base)
+		}
+	}
+	if rows[len(rows)-1].KDREfficiency > 1.01 {
+		t.Errorf("efficiency above 1: %g", rows[len(rows)-1].KDREfficiency)
+	}
+}

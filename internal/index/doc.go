@@ -1,0 +1,15 @@
+// Package index provides the index-space substrate of the KDRSolvers
+// framework.
+//
+// An index space is a finite set of identifiers (Section 3 of the paper).
+// KDRSolvers names three index spaces per sparse matrix: the kernel space K
+// indexing stored nonzero entries, the domain space D indexing the solution
+// vector, and the range space R indexing the right-hand side.
+//
+// Index spaces in this package are sets of int64 coordinates represented as
+// sorted disjoint interval lists (IntervalSet). Multi-dimensional spaces are
+// linearized through a Grid, which also produces the strided interval sets
+// that arise when tiling a grid. A Partition maps a color space to subsets
+// of an index space and supports the completeness and disjointness
+// predicates of Section 3.1.
+package index

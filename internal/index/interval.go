@@ -1,0 +1,347 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interval is an inclusive range [Lo, Hi] of int64 coordinates.
+// An Interval with Lo > Hi is empty.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Size returns the number of points in the interval.
+func (iv Interval) Size() int64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo + 1
+}
+
+// Contains reports whether p lies in the interval.
+func (iv Interval) Contains(p int64) bool { return iv.Lo <= p && p <= iv.Hi }
+
+// Intersect returns the intersection of two intervals (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	return Interval{Lo: max64(iv.Lo, o.Lo), Hi: min64(iv.Hi, o.Hi)}
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (iv Interval) Overlaps(o Interval) bool { return !iv.Intersect(o).Empty() }
+
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[]"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// An IntervalSet is a set of int64 coordinates stored as sorted,
+// disjoint, non-adjacent intervals. The zero value is the empty set.
+//
+// IntervalSet is the universal currency of the framework: index spaces,
+// partition pieces, and projection results are all IntervalSets. All
+// operations leave their operands unmodified unless documented otherwise.
+type IntervalSet struct {
+	ivs []Interval
+}
+
+// NewIntervalSet builds a set from arbitrary (possibly overlapping,
+// unordered) intervals.
+func NewIntervalSet(ivs ...Interval) IntervalSet {
+	var s IntervalSet
+	for _, iv := range ivs {
+		s.AddInterval(iv)
+	}
+	return s
+}
+
+// Span returns the set containing exactly [lo, hi].
+func Span(lo, hi int64) IntervalSet {
+	if lo > hi {
+		return IntervalSet{}
+	}
+	return IntervalSet{ivs: []Interval{{lo, hi}}}
+}
+
+// FromPoints builds a set from arbitrary points (duplicates allowed).
+// The input slice is not modified.
+func FromPoints(points []int64) IntervalSet {
+	if len(points) == 0 {
+		return IntervalSet{}
+	}
+	ps := make([]int64, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	var s IntervalSet
+	lo, hi := ps[0], ps[0]
+	for _, p := range ps[1:] {
+		if p == hi || p == hi+1 {
+			hi = p
+			continue
+		}
+		s.ivs = append(s.ivs, Interval{lo, hi})
+		lo, hi = p, p
+	}
+	s.ivs = append(s.ivs, Interval{lo, hi})
+	return s
+}
+
+// Empty reports whether the set contains no points.
+func (s IntervalSet) Empty() bool { return len(s.ivs) == 0 }
+
+// Size returns the number of points in the set.
+func (s IntervalSet) Size() int64 {
+	var n int64
+	for _, iv := range s.ivs {
+		n += iv.Size()
+	}
+	return n
+}
+
+// NumIntervals returns the number of maximal runs in the set.
+func (s IntervalSet) NumIntervals() int { return len(s.ivs) }
+
+// Intervals returns the underlying sorted disjoint intervals.
+// The returned slice must not be modified.
+func (s IntervalSet) Intervals() []Interval { return s.ivs }
+
+// Bounds returns the smallest interval covering the set.
+// It returns an empty interval for the empty set.
+func (s IntervalSet) Bounds() Interval {
+	if s.Empty() {
+		return Interval{Lo: 0, Hi: -1}
+	}
+	return Interval{Lo: s.ivs[0].Lo, Hi: s.ivs[len(s.ivs)-1].Hi}
+}
+
+// Contains reports whether p is in the set.
+func (s IntervalSet) Contains(p int64) bool {
+	// Binary search for the first interval with Hi >= p.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi >= p })
+	return i < len(s.ivs) && s.ivs[i].Contains(p)
+}
+
+// AddInterval inserts [iv.Lo, iv.Hi] into the set in place, merging
+// overlapping or adjacent intervals.
+func (s *IntervalSet) AddInterval(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Fast path: appending past the end.
+	if n := len(s.ivs); n == 0 || s.ivs[n-1].Hi+1 < iv.Lo {
+		s.ivs = append(s.ivs, iv)
+		return
+	}
+	// Fast path: extending the last interval.
+	if n := len(s.ivs); s.ivs[n-1].Lo <= iv.Lo {
+		if iv.Hi > s.ivs[n-1].Hi {
+			s.ivs[n-1].Hi = iv.Hi
+		}
+		if iv.Lo >= s.ivs[n-1].Lo {
+			return
+		}
+	}
+	// General path: find the run of intervals that merge with iv.
+	lo := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].Hi+1 >= iv.Lo })
+	hi := lo
+	merged := iv
+	for hi < len(s.ivs) && s.ivs[hi].Lo <= merged.Hi+1 {
+		if s.ivs[hi].Lo < merged.Lo {
+			merged.Lo = s.ivs[hi].Lo
+		}
+		if s.ivs[hi].Hi > merged.Hi {
+			merged.Hi = s.ivs[hi].Hi
+		}
+		hi++
+	}
+	out := make([]Interval, 0, len(s.ivs)-(hi-lo)+1)
+	out = append(out, s.ivs[:lo]...)
+	out = append(out, merged)
+	out = append(out, s.ivs[hi:]...)
+	s.ivs = out
+}
+
+// Add inserts a single point into the set in place.
+func (s *IntervalSet) Add(p int64) { s.AddInterval(Interval{p, p}) }
+
+// Union returns the union of s and o.
+func (s IntervalSet) Union(o IntervalSet) IntervalSet {
+	if s.Empty() {
+		return o.Clone()
+	}
+	if o.Empty() {
+		return s.Clone()
+	}
+	out := IntervalSet{ivs: make([]Interval, 0, len(s.ivs)+len(o.ivs))}
+	i, j := 0, 0
+	for i < len(s.ivs) || j < len(o.ivs) {
+		var next Interval
+		switch {
+		case i == len(s.ivs):
+			next, j = o.ivs[j], j+1
+		case j == len(o.ivs):
+			next, i = s.ivs[i], i+1
+		case s.ivs[i].Lo <= o.ivs[j].Lo:
+			next, i = s.ivs[i], i+1
+		default:
+			next, j = o.ivs[j], j+1
+		}
+		if n := len(out.ivs); n > 0 && out.ivs[n-1].Hi+1 >= next.Lo {
+			if next.Hi > out.ivs[n-1].Hi {
+				out.ivs[n-1].Hi = next.Hi
+			}
+		} else {
+			out.ivs = append(out.ivs, next)
+		}
+	}
+	return out
+}
+
+// Intersect returns the intersection of s and o.
+func (s IntervalSet) Intersect(o IntervalSet) IntervalSet {
+	var out IntervalSet
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		iv := s.ivs[i].Intersect(o.ivs[j])
+		if !iv.Empty() {
+			out.ivs = append(out.ivs, iv)
+		}
+		if s.ivs[i].Hi < o.ivs[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Subtract returns the set difference s \ o.
+func (s IntervalSet) Subtract(o IntervalSet) IntervalSet {
+	var out IntervalSet
+	j := 0
+	for _, iv := range s.ivs {
+		lo := iv.Lo
+		for j < len(o.ivs) && o.ivs[j].Hi < lo {
+			j++
+		}
+		k := j
+		for k < len(o.ivs) && o.ivs[k].Lo <= iv.Hi {
+			if o.ivs[k].Lo > lo {
+				out.ivs = append(out.ivs, Interval{lo, o.ivs[k].Lo - 1})
+			}
+			if o.ivs[k].Hi+1 > lo {
+				lo = o.ivs[k].Hi + 1
+			}
+			k++
+		}
+		if lo <= iv.Hi {
+			out.ivs = append(out.ivs, Interval{lo, iv.Hi})
+		}
+	}
+	return out
+}
+
+// Overlaps reports whether s and o share at least one point. It is
+// equivalent to !s.Intersect(o).Empty() but does not allocate.
+func (s IntervalSet) Overlaps(o IntervalSet) bool {
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		if s.ivs[i].Overlaps(o.ivs[j]) {
+			return true
+		}
+		if s.ivs[i].Hi < o.ivs[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o contain exactly the same points.
+func (s IntervalSet) Equal(o IntervalSet) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i, iv := range s.ivs {
+		if iv != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsSet reports whether every point of o is in s.
+func (s IntervalSet) ContainsSet(o IntervalSet) bool {
+	return o.Subtract(s).Empty()
+}
+
+// Clone returns a deep copy of the set.
+func (s IntervalSet) Clone() IntervalSet {
+	if s.Empty() {
+		return IntervalSet{}
+	}
+	ivs := make([]Interval, len(s.ivs))
+	copy(ivs, s.ivs)
+	return IntervalSet{ivs: ivs}
+}
+
+// Each calls fn for every point in the set in increasing order.
+func (s IntervalSet) Each(fn func(p int64)) {
+	for _, iv := range s.ivs {
+		for p := iv.Lo; p <= iv.Hi; p++ {
+			fn(p)
+		}
+	}
+}
+
+// EachInterval calls fn for every maximal interval in increasing order.
+func (s IntervalSet) EachInterval(fn func(iv Interval)) {
+	for _, iv := range s.ivs {
+		fn(iv)
+	}
+}
+
+// Points materializes the set as a sorted point slice. Intended for tests
+// and small sets.
+func (s IntervalSet) Points() []int64 {
+	out := make([]int64, 0, s.Size())
+	s.Each(func(p int64) { out = append(out, p) })
+	return out
+}
+
+func (s IntervalSet) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, iv := range s.ivs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(iv.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

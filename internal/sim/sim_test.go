@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/taskrt"
+)
+
+// testMachine returns a small machine with clean round numbers for
+// hand-computable schedules: 2 nodes x 2 procs, 1e9 B/s everywhere,
+// zero latency and launch cost.
+func testMachine() machine.Machine {
+	return machine.Machine{
+		Nodes: 2, GPUsPerNode: 2,
+		MemBandwidth:   1e9,
+		IntraBandwidth: 1e9,
+		NetBandwidth:   1e9,
+	}
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestSimulateSerialChain(t *testing.T) {
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 1})
+	b := g.Add(taskrt.Node{Name: "b", Proc: 0, Cost: 2, Deps: []int64{a}, DepBytes: []int64{0}})
+	g.Add(taskrt.Node{Name: "c", Proc: 0, Cost: 3, Deps: []int64{b}, DepBytes: []int64{0}})
+	res := Simulate(g, testMachine(), Options{})
+	if !approx(res.Makespan, 6) {
+		t.Fatalf("Makespan = %g, want 6", res.Makespan)
+	}
+	if !approx(res.ProcBusy[0], 6) {
+		t.Fatalf("ProcBusy = %v", res.ProcBusy)
+	}
+}
+
+func TestSimulateParallelTasks(t *testing.T) {
+	var g taskrt.Graph
+	g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 5})
+	g.Add(taskrt.Node{Name: "b", Proc: 1, Cost: 5})
+	g.Add(taskrt.Node{Name: "c", Proc: 2, Cost: 5})
+	res := Simulate(g, testMachine(), Options{})
+	if !approx(res.Makespan, 5) {
+		t.Fatalf("independent tasks on distinct procs: Makespan = %g, want 5", res.Makespan)
+	}
+	// Same tasks on one proc serialize.
+	for i := range g.Nodes {
+		g.Nodes[i].Proc = 0
+	}
+	res = Simulate(g, testMachine(), Options{})
+	if !approx(res.Makespan, 15) {
+		t.Fatalf("serialized: Makespan = %g, want 15", res.Makespan)
+	}
+}
+
+func TestSimulateCommunicationEdge(t *testing.T) {
+	m := testMachine()
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 1})
+	// Consumer on the other node needs 1e9 bytes => 1 second of transfer.
+	g.Add(taskrt.Node{Name: "b", Proc: 2, Cost: 1, Deps: []int64{a}, DepBytes: []int64{1e9}})
+	res := Simulate(g, m, Options{})
+	if !approx(res.Makespan, 3) {
+		t.Fatalf("Makespan = %g, want 1 + 1 + 1 = 3", res.Makespan)
+	}
+	if res.CommBytes != 1e9 || res.IntraBytes != 0 {
+		t.Fatalf("CommBytes = %d, IntraBytes = %d", res.CommBytes, res.IntraBytes)
+	}
+	// Same-node consumer uses the intra link instead.
+	g.Nodes[1].Proc = 1
+	res = Simulate(g, m, Options{})
+	if !approx(res.Makespan, 3) {
+		t.Fatalf("intra Makespan = %g, want 3", res.Makespan)
+	}
+	if res.IntraBytes != 1e9 || res.CommBytes != 0 {
+		t.Fatalf("IntraBytes = %d", res.IntraBytes)
+	}
+	// Same-proc consumer moves nothing.
+	g.Nodes[1].Proc = 0
+	res = Simulate(g, m, Options{})
+	if !approx(res.Makespan, 2) || res.IntraBytes != 0 {
+		t.Fatalf("same-proc Makespan = %g, bytes = %d", res.Makespan, res.IntraBytes)
+	}
+}
+
+func TestSimulateOverlapHidesCommunication(t *testing.T) {
+	// The paper's P1 claim in miniature: a transfer to another node can
+	// hide under independent local compute in the task model, but not in
+	// the BSP model.
+	m := testMachine()
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "produce", Proc: 0, Cost: 1})
+	// Local busy work on the destination proc, independent of the data.
+	g.Add(taskrt.Node{Name: "local", Proc: 2, Cost: 2})
+	// Consumer needs 1 second of data transfer from node 0 to node 1.
+	g.Add(taskrt.Node{Name: "consume", Proc: 2, Cost: 1, Deps: []int64{a}, DepBytes: []int64{1e9}})
+
+	task := Simulate(g, m, Options{})
+	// Transfer (done at t=3) overlaps the local task (done at t=2):
+	// consume starts at max(2, 1+1) = 2... transfer starts at 1, arrives 2.
+	if !approx(task.Makespan, 3) {
+		t.Fatalf("task model Makespan = %g, want 3", task.Makespan)
+	}
+
+	bsp := SimulateBSP(g, m, Options{})
+	// BSP: level 0 compute = max(1 on proc0, 2 on proc2) = 2, then level 1
+	// comm = 1, then consume = 1: total 4.
+	if !approx(bsp.Makespan, 4) {
+		t.Fatalf("BSP Makespan = %g, want 4", bsp.Makespan)
+	}
+	if bsp.Makespan <= task.Makespan {
+		t.Fatal("BSP must not beat the overlapping schedule here")
+	}
+}
+
+func TestNetworkChannelSerialization(t *testing.T) {
+	// Two transfers leaving the same node serialize on its send channel.
+	m := testMachine()
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 0})
+	g.Add(taskrt.Node{Name: "b", Proc: 2, Cost: 0, Deps: []int64{a}, DepBytes: []int64{1e9}})
+	g.Add(taskrt.Node{Name: "c", Proc: 3, Cost: 0, Deps: []int64{a}, DepBytes: []int64{1e9}})
+	res := Simulate(g, m, Options{})
+	if !approx(res.Makespan, 2) {
+		t.Fatalf("Makespan = %g, want 2 (serialized sends)", res.Makespan)
+	}
+}
+
+func TestOverheadAndTracing(t *testing.T) {
+	m := testMachine()
+	var g taskrt.Graph
+	g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 1})
+	g.Add(taskrt.Node{Name: "b", Proc: 0, Cost: 1, Traced: true})
+	res := Simulate(g, m, Options{TaskOverhead: 10, TracedOverhead: 1})
+	// a: 10 + 1, b: 1 + 1 => 13.
+	if !approx(res.Makespan, 13) {
+		t.Fatalf("Makespan = %g, want 13", res.Makespan)
+	}
+	// Kernel launch cost applies to every task.
+	m.KernelLaunch = 0.5
+	res = Simulate(g, m, Options{})
+	if !approx(res.Makespan, 3) {
+		t.Fatalf("Makespan with launch = %g, want 3", res.Makespan)
+	}
+}
+
+func TestNodeSlowdown(t *testing.T) {
+	m := testMachine()
+	var g taskrt.Graph
+	g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 1})
+	g.Add(taskrt.Node{Name: "b", Proc: 2, Cost: 1})
+	res := Simulate(g, m, Options{NodeSlowdown: []float64{2, 1}})
+	if !approx(res.Makespan, 2) {
+		t.Fatalf("Makespan = %g, want 2 (node 0 slowed 2x)", res.Makespan)
+	}
+	if !approx(res.NodeBusy[0], 2) || !approx(res.NodeBusy[1], 1) {
+		t.Fatalf("NodeBusy = %v", res.NodeBusy)
+	}
+	// Slowdowns below 1 and missing entries are ignored.
+	res = Simulate(g, m, Options{NodeSlowdown: []float64{0.5}})
+	if !approx(res.Makespan, 1) {
+		t.Fatalf("Makespan = %g, want 1", res.Makespan)
+	}
+}
+
+func TestBSPMatchesSerialOnOneProc(t *testing.T) {
+	// With everything on one processor and no communication, BSP and task
+	// scheduling agree with the serial sum.
+	var g taskrt.Graph
+	prev := int64(-1)
+	for i := 0; i < 5; i++ {
+		n := taskrt.Node{Name: "t", Proc: 0, Cost: 1}
+		if prev >= 0 {
+			n.Deps = []int64{prev}
+			n.DepBytes = []int64{0}
+		}
+		prev = g.Add(n)
+	}
+	m := testMachine()
+	taskRes := Simulate(g, m, Options{})
+	bspRes := SimulateBSP(g, m, Options{})
+	if !approx(taskRes.Makespan, 5) || !approx(bspRes.Makespan, 5) {
+		t.Fatalf("task = %g, bsp = %g, want 5", taskRes.Makespan, bspRes.Makespan)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a"})
+	g.Add(taskrt.Node{Name: "b", Deps: []int64{a}, DepBytes: []int64{0}})
+	if err := Validate(g); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	bad := taskrt.Graph{Nodes: []taskrt.Node{{ID: 0, Deps: []int64{0}, DepBytes: []int64{0}}}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("self-dependence accepted")
+	}
+	bad = taskrt.Graph{Nodes: []taskrt.Node{{ID: 0, Deps: []int64{1}}}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("mismatched dep bytes accepted")
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	m := testMachine()
+	m.NetLatency = 0.25
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 0})
+	g.Add(taskrt.Node{Name: "b", Proc: 2, Cost: 0, Deps: []int64{a}, DepBytes: []int64{1e9}})
+	res := Simulate(g, m, Options{})
+	if !approx(res.Makespan, 1.25) {
+		t.Fatalf("Makespan = %g, want 1.25", res.Makespan)
+	}
+}
+
+func TestBusyByNameAttribution(t *testing.T) {
+	var g taskrt.Graph
+	g.Add(taskrt.Node{Name: "matmul", Proc: 0, Cost: 3})
+	g.Add(taskrt.Node{Name: "matmul", Proc: 1, Cost: 2})
+	g.Add(taskrt.Node{Name: "axpy", Proc: 0, Cost: 1})
+	res := Simulate(g, testMachine(), Options{})
+	if !approx(res.BusyByName["matmul"], 5) {
+		t.Fatalf("matmul busy = %g", res.BusyByName["matmul"])
+	}
+	if !approx(res.BusyByName["axpy"], 1) {
+		t.Fatalf("axpy busy = %g", res.BusyByName["axpy"])
+	}
+	// Attribution sums to total proc busy.
+	var total, byName float64
+	for _, b := range res.ProcBusy {
+		total += b
+	}
+	for _, b := range res.BusyByName {
+		byName += b
+	}
+	if !approx(total, byName) {
+		t.Fatalf("attribution mismatch: %g vs %g", total, byName)
+	}
+}

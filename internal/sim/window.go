@@ -1,0 +1,47 @@
+package sim
+
+import "kdrsolvers/internal/taskrt"
+
+// Window extracts the tasks [lo, len) of a cumulative graph as a
+// standalone graph suitable for per-iteration simulation. Dependences on
+// tasks before the window are preserved as zero-cost ghost producers on
+// their original processors, so cross-window data transfers (e.g. the
+// halo reads of the first matmul of an iteration) still start from the
+// right place and are still charged.
+func Window(g taskrt.Graph, lo int) taskrt.Graph {
+	var out taskrt.Graph
+	ghost := map[int64]int64{} // original id -> ghost id in out
+	// First pass: create ghosts for external dependences in first-seen
+	// order so IDs stay topological.
+	for _, n := range g.Nodes[lo:] {
+		for _, d := range n.Deps {
+			if d < int64(lo) {
+				if _, ok := ghost[d]; !ok {
+					ghost[d] = out.Add(taskrt.Node{
+						Name: "ghost:" + g.Nodes[d].Name,
+						Proc: g.Nodes[d].Proc,
+						Host: true,
+					})
+				}
+			}
+		}
+	}
+	base := int64(out.Len()) - int64(lo)
+	for _, n := range g.Nodes[lo:] {
+		deps := make([]int64, len(n.Deps))
+		for i, d := range n.Deps {
+			if d < int64(lo) {
+				deps[i] = ghost[d]
+			} else {
+				deps[i] = d + base
+			}
+		}
+		bytes := make([]int64, len(n.DepBytes))
+		copy(bytes, n.DepBytes)
+		out.Add(taskrt.Node{
+			Name: n.Name, Proc: n.Proc, Cost: n.Cost,
+			Deps: deps, DepBytes: bytes, Traced: n.Traced,
+		})
+	}
+	return out
+}

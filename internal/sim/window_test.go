@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/taskrt"
+)
+
+func TestWindowNoExternalDeps(t *testing.T) {
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 1})
+	g.Add(taskrt.Node{Name: "b", Proc: 1, Cost: 2, Deps: []int64{a}, DepBytes: []int64{8}})
+	w := Window(g, 0)
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	if err := Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	// Identical graph; identical simulation.
+	m := machine.Lassen(1)
+	if Simulate(w, m, Options{}).Makespan != Simulate(g, m, Options{}).Makespan {
+		t.Fatal("full window changed the schedule")
+	}
+}
+
+func TestWindowGhostsExternalProducers(t *testing.T) {
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "produce", Proc: 0, Cost: 5})
+	b := g.Add(taskrt.Node{Name: "mid", Proc: 1, Cost: 1, Deps: []int64{a}, DepBytes: []int64{0}})
+	g.Add(taskrt.Node{Name: "consume", Proc: 4, Cost: 1,
+		Deps: []int64{a, b}, DepBytes: []int64{1e9, 0}})
+
+	w := Window(g, 2) // keep only "consume"
+	if err := Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	// Two ghosts (for a and b) plus the window task.
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	ghosts := 0
+	for _, n := range w.Nodes {
+		if n.Host {
+			ghosts++
+			if n.Cost != 0 {
+				t.Fatal("ghosts must be free")
+			}
+		}
+	}
+	if ghosts != 2 {
+		t.Fatalf("ghosts = %d, want 2", ghosts)
+	}
+	// The consumer still pays the cross-node transfer from the ghost's
+	// processor: 1e9 bytes at 21 GB/s from node 0 to node 1.
+	m := machine.Lassen(2)
+	res := Simulate(w, m, Options{})
+	if res.CommBytes != 1e9 {
+		t.Fatalf("CommBytes = %d", res.CommBytes)
+	}
+	wantMin := 1e9 / m.NetBandwidth
+	if res.Makespan < wantMin {
+		t.Fatalf("Makespan %g does not include the ghost transfer (>= %g)", res.Makespan, wantMin)
+	}
+}
+
+func TestWindowPreservesAttributes(t *testing.T) {
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a", Proc: 3, Cost: 1, Traced: true})
+	g.Add(taskrt.Node{Name: "b", Proc: 2, Cost: 2, Deps: []int64{a}, DepBytes: []int64{4}, Traced: true})
+	w := Window(g, 1)
+	n := w.Nodes[w.Len()-1]
+	if n.Name != "b" || n.Proc != 2 || n.Cost != 2 || !n.Traced {
+		t.Fatalf("attributes lost: %+v", n)
+	}
+	if len(n.Deps) != 1 || n.DepBytes[0] != 4 {
+		t.Fatalf("edge lost: %+v", n)
+	}
+}
+
+func TestWindowSharedGhost(t *testing.T) {
+	// Two window tasks depending on the same external producer share one
+	// ghost.
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a", Proc: 0, Cost: 1})
+	g.Add(taskrt.Node{Name: "b", Proc: 1, Cost: 1, Deps: []int64{a}, DepBytes: []int64{8}})
+	g.Add(taskrt.Node{Name: "c", Proc: 2, Cost: 1, Deps: []int64{a}, DepBytes: []int64{8}})
+	w := Window(g, 1)
+	if w.Len() != 3 { // 1 ghost + 2 tasks
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+}

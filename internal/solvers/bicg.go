@@ -1,0 +1,61 @@
+package solvers
+
+import "kdrsolvers/internal/core"
+
+// BiCG is the biconjugate gradient method for general square systems. It
+// is the one solver here that exercises the adjoint product A^T·v, which
+// the planner supports through the same universal co-partitioning
+// operators (projected along the column relation instead of the row
+// relation).
+type BiCG struct {
+	p                    *core.Planner
+	r, rt, pv, pt, q, qt core.VecID
+	rho                  *core.Scalar
+	res                  *core.Scalar
+}
+
+// NewBiCG builds a BiCG solver on a finalized square system.
+func NewBiCG(p *core.Planner) *BiCG {
+	if !p.IsSquare() {
+		panic("solvers: BiCG requires a square system")
+	}
+	s := &BiCG{
+		p:  p,
+		r:  p.AllocateWorkspace(core.RhsShape),
+		rt: p.AllocateWorkspace(core.RhsShape),
+		pv: p.AllocateWorkspace(core.SolShape),
+		pt: p.AllocateWorkspace(core.SolShape),
+		q:  p.AllocateWorkspace(core.RhsShape),
+		qt: p.AllocateWorkspace(core.RhsShape),
+	}
+	residualInit(p, s.r)
+	p.Copy(s.rt, s.r) // shadow residual r̃₀ = r₀
+	p.Copy(s.pv, s.r)
+	p.Copy(s.pt, s.rt)
+	s.rho = p.Dot(s.rt, s.r)
+	s.res = p.Dot(s.r, s.r)
+	return s
+}
+
+// Name implements Solver.
+func (s *BiCG) Name() string { return "BiCG" }
+
+// ConvergenceMeasure implements Solver.
+func (s *BiCG) ConvergenceMeasure() *core.Scalar { return s.res }
+
+// Step implements Solver: one BiCG iteration, entirely deferred.
+func (s *BiCG) Step() {
+	p := s.p
+	p.Matmul(s.q, s.pv)   // q = A p
+	p.MatmulT(s.qt, s.pt) // q̃ = Aᵀ p̃
+	alpha := p.Div(s.rho, p.Dot(s.pt, s.q))
+	p.Axpy(core.SOL, alpha, s.pv)
+	p.Axpy(s.r, p.Neg(alpha), s.q)
+	p.Axpy(s.rt, p.Neg(alpha), s.qt)
+	rhoNew := p.Dot(s.rt, s.r)
+	beta := p.Div(rhoNew, s.rho)
+	p.Xpay(s.pv, beta, s.r)
+	p.Xpay(s.pt, beta, s.rt)
+	s.rho = rhoNew
+	s.res = p.Dot(s.r, s.r)
+}

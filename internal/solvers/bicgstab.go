@@ -1,0 +1,64 @@
+package solvers
+
+import "kdrsolvers/internal/core"
+
+// BiCGStab is van der Vorst's stabilized biconjugate gradient method for
+// general (nonsymmetric) square systems.
+type BiCGStab struct {
+	p                 *core.Planner
+	r, rhat, pv, v    core.VecID
+	t                 core.VecID
+	rho, alpha, omega *core.Scalar
+	res               *core.Scalar
+}
+
+// NewBiCGStab builds a BiCGStab solver on a finalized square system.
+func NewBiCGStab(p *core.Planner) *BiCGStab {
+	if !p.IsSquare() {
+		panic("solvers: BiCGStab requires a square system")
+	}
+	s := &BiCGStab{
+		p:    p,
+		r:    p.AllocateWorkspace(core.RhsShape),
+		rhat: p.AllocateWorkspace(core.RhsShape),
+		pv:   p.AllocateWorkspace(core.SolShape),
+		v:    p.AllocateWorkspace(core.RhsShape),
+		t:    p.AllocateWorkspace(core.RhsShape),
+	}
+	residualInit(p, s.r)
+	p.Copy(s.rhat, s.r) // r̂₀ fixed shadow residual
+	s.rho = p.Constant(1)
+	s.alpha = p.Constant(1)
+	s.omega = p.Constant(1)
+	s.res = p.Dot(s.r, s.r)
+	return s
+}
+
+// Name implements Solver.
+func (s *BiCGStab) Name() string { return "BiCGStab" }
+
+// ConvergenceMeasure implements Solver.
+func (s *BiCGStab) ConvergenceMeasure() *core.Scalar { return s.res }
+
+// Step implements Solver: one BiCGStab iteration, entirely deferred.
+func (s *BiCGStab) Step() {
+	p := s.p
+	rho := p.Dot(s.rhat, s.r)
+	beta := p.Mul(p.Div(rho, s.rho), p.Div(s.alpha, s.omega))
+	// p = r + β(p − ω v)
+	p.Axpy(s.pv, p.Neg(s.omega), s.v)
+	p.Xpay(s.pv, beta, s.r)
+	p.Matmul(s.v, s.pv) // v = A p
+	alpha := p.Div(rho, p.Dot(s.rhat, s.v))
+	// s (reusing r): r ← r − α v
+	p.Axpy(s.r, p.Neg(alpha), s.v)
+	p.Matmul(s.t, s.r) // t = A s
+	omega := p.Div(p.Dot(s.t, s.r), p.Dot(s.t, s.t))
+	// x += α p + ω s
+	p.Axpy(core.SOL, alpha, s.pv)
+	p.Axpy(core.SOL, omega, s.r)
+	// r ← s − ω t
+	p.Axpy(s.r, p.Neg(omega), s.t)
+	s.rho, s.alpha, s.omega = rho, alpha, omega
+	s.res = p.Dot(s.r, s.r)
+}

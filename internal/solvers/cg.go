@@ -1,0 +1,50 @@
+package solvers
+
+import "kdrsolvers/internal/core"
+
+// CG is the conjugate gradient method of Hestenes and Stiefel for
+// symmetric positive definite systems — the paper's Figure 7 solver,
+// generalized to a nonzero initial guess.
+type CG struct {
+	p        *core.Planner
+	pv, q, r core.VecID
+	res      *core.Scalar // r·r
+}
+
+// NewCG builds a CG solver on a finalized square, unpreconditioned
+// system.
+func NewCG(p *core.Planner) *CG {
+	if !p.IsSquare() {
+		panic("solvers: CG requires a square system")
+	}
+	s := &CG{
+		p:  p,
+		pv: p.AllocateWorkspace(core.SolShape),
+		q:  p.AllocateWorkspace(core.RhsShape),
+		r:  p.AllocateWorkspace(core.RhsShape),
+	}
+	residualInit(p, s.r)
+	p.Copy(s.pv, s.r)
+	s.res = p.Dot(s.r, s.r)
+	return s
+}
+
+// Name implements Solver.
+func (s *CG) Name() string { return "CG" }
+
+// ConvergenceMeasure implements Solver.
+func (s *CG) ConvergenceMeasure() *core.Scalar { return s.res }
+
+// Step implements Solver: one CG iteration, entirely deferred.
+func (s *CG) Step() {
+	p := s.p
+	p.Matmul(s.q, s.pv)            // q = A p
+	pq := p.Dot(s.pv, s.q)         // pᵀAp
+	alpha := p.Div(s.res, pq)      // α = res / pᵀAp
+	p.Axpy(core.SOL, alpha, s.pv)  // x += α p
+	p.Axpy(s.r, p.Neg(alpha), s.q) // r -= α q
+	newRes := p.Dot(s.r, s.r)
+	beta := p.Div(newRes, s.res) // β = res' / res
+	p.Xpay(s.pv, beta, s.r)      // p = r + β p
+	s.res = newRes
+}

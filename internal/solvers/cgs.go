@@ -1,0 +1,83 @@
+package solvers
+
+import "kdrsolvers/internal/core"
+
+// CGS is Sonneveld's conjugate gradient squared method for general
+// square systems: a transpose-free relative of BiCG that applies the
+// contraction polynomial twice per iteration. It often converges in
+// fewer iterations than BiCG but with rougher residual behavior;
+// BiCGStab (its smoothed descendant) is usually preferred. The
+// implementation follows the Templates formulation.
+type CGS struct {
+	p *core.Planner
+	// Workspaces: residual r, shadow residual r̃, and the u/p/q/v/uq
+	// vectors of the recurrence (vhat doubles as qhat).
+	r, rt    core.VecID
+	u, pp, q core.VecID
+	vhat, uq core.VecID
+	rho      *core.Scalar
+	k        int
+	res      *core.Scalar
+}
+
+// NewCGS builds a CGS solver on a finalized square system.
+func NewCGS(p *core.Planner) *CGS {
+	if !p.IsSquare() {
+		panic("solvers: CGS requires a square system")
+	}
+	s := &CGS{
+		p:    p,
+		r:    p.AllocateWorkspace(core.RhsShape),
+		rt:   p.AllocateWorkspace(core.RhsShape),
+		u:    p.AllocateWorkspace(core.SolShape),
+		pp:   p.AllocateWorkspace(core.SolShape),
+		q:    p.AllocateWorkspace(core.SolShape),
+		vhat: p.AllocateWorkspace(core.RhsShape),
+		uq:   p.AllocateWorkspace(core.SolShape),
+	}
+	residualInit(p, s.r)
+	p.Copy(s.rt, s.r)
+	s.res = p.Dot(s.r, s.r)
+	return s
+}
+
+// Name implements Solver.
+func (s *CGS) Name() string { return "CGS" }
+
+// ConvergenceMeasure implements Solver.
+func (s *CGS) ConvergenceMeasure() *core.Scalar { return s.res }
+
+// Step implements Solver: one CGS iteration, entirely deferred.
+func (s *CGS) Step() {
+	p := s.p
+	rho := p.Dot(s.rt, s.r)
+	if s.k == 0 {
+		p.Copy(s.u, s.r)
+		p.Copy(s.pp, s.u)
+	} else {
+		beta := p.Div(rho, s.rho)
+		// u = r + β q
+		p.Copy(s.u, s.r)
+		p.Axpy(s.u, beta, s.q)
+		// p = u + β (q + β p)
+		p.Scal(s.pp, beta)
+		p.Axpy(s.pp, p.Constant(1), s.q)
+		p.Scal(s.pp, beta)
+		p.Axpy(s.pp, p.Constant(1), s.u)
+	}
+	s.k++
+	p.Matmul(s.vhat, s.pp) // v̂ = A p
+	alpha := p.Div(rho, p.Dot(s.rt, s.vhat))
+	// q = u − α v̂
+	p.Copy(s.q, s.u)
+	p.Axpy(s.q, p.Neg(alpha), s.vhat)
+	// uq = u + q; x += α uq
+	p.Copy(s.uq, s.u)
+	p.Axpy(s.uq, p.Constant(1), s.q)
+	p.Axpy(core.SOL, alpha, s.uq)
+	// r −= α A uq (vhat reused as q̂)
+	p.Matmul(s.vhat, s.uq)
+	p.Axpy(s.r, p.Neg(alpha), s.vhat)
+	s.rho = rho
+	s.res = p.Dot(s.r, s.r)
+}

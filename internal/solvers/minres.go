@@ -1,0 +1,116 @@
+package solvers
+
+import (
+	"math"
+
+	"kdrsolvers/internal/core"
+)
+
+// MINRES is the minimum residual method of Paige and Saunders for
+// symmetric (possibly indefinite) systems, built on the Lanczos
+// three-term recurrence with on-the-fly Givens rotations, following the
+// classic minres.m formulation.
+//
+// The rotation coefficients need host-side control flow, so MINRES
+// synchronizes on two dot products per iteration — the same behavior as
+// reference implementations.
+type MINRES struct {
+	p *core.Planner
+	// Lanczos residual history r1, r2, the current vector v, and the A·v
+	// scratch y.
+	r1, r2, v, y core.VecID
+	// Direction vectors for the solution update.
+	w, w1, w2 core.VecID
+
+	k           int // completed iterations
+	oldb, beta  float64
+	dbar, epsln float64
+	cs, sn      float64
+	phibar      float64
+	res         *core.Scalar
+}
+
+// NewMINRES builds a MINRES solver on a finalized square system.
+func NewMINRES(p *core.Planner) *MINRES {
+	if !p.IsSquare() {
+		panic("solvers: MINRES requires a square system")
+	}
+	s := &MINRES{
+		p:  p,
+		r1: p.AllocateWorkspace(core.RhsShape),
+		r2: p.AllocateWorkspace(core.RhsShape),
+		v:  p.AllocateWorkspace(core.RhsShape),
+		y:  p.AllocateWorkspace(core.RhsShape),
+		w:  p.AllocateWorkspace(core.SolShape),
+		w1: p.AllocateWorkspace(core.SolShape),
+		w2: p.AllocateWorkspace(core.SolShape),
+	}
+	residualInit(p, s.r2)
+	p.Copy(s.r1, s.r2)
+	rr := p.Dot(s.r2, s.r2)
+	s.res = rr
+	s.beta = math.Sqrt(rr.Value())
+	s.phibar = s.beta
+	s.cs = -1 // the minres.m convention makes iteration 1 need no special case
+	return s
+}
+
+// Name implements Solver.
+func (s *MINRES) Name() string { return "MINRES" }
+
+// ConvergenceMeasure implements Solver.
+func (s *MINRES) ConvergenceMeasure() *core.Scalar { return s.res }
+
+// safeInv returns 1/x, or 0 when x is 0 (only reachable on virtual
+// planners or after exact convergence).
+func safeInv(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// Step implements Solver: one Lanczos step plus the residual-minimizing
+// plane rotation and solution update.
+func (s *MINRES) Step() {
+	p := s.p
+	s.k++
+
+	// v = r2/β; y = A v.
+	p.Copy(s.v, s.r2)
+	p.ScalConst(s.v, safeInv(s.beta))
+	p.Matmul(s.y, s.v)
+	if s.k > 1 {
+		p.AxpyConst(s.y, -s.beta*safeInv(s.oldb), s.r1)
+	}
+	alfa := p.Dot(s.v, s.y).Value()
+	p.AxpyConst(s.y, -alfa*safeInv(s.beta), s.r2)
+	p.Copy(s.r1, s.r2)
+	p.Copy(s.r2, s.y)
+	s.oldb = s.beta
+	s.beta = math.Sqrt(p.Dot(s.r2, s.r2).Value())
+
+	// Apply the previous rotation and compute the new one.
+	oldeps := s.epsln
+	delta := s.cs*s.dbar + s.sn*alfa
+	gbar := s.sn*s.dbar - s.cs*alfa
+	s.epsln = s.sn * s.beta
+	s.dbar = -s.cs * s.beta
+	gamma := math.Hypot(gbar, s.beta)
+	s.cs = gbar * safeInv(gamma)
+	s.sn = s.beta * safeInv(gamma)
+	phi := s.cs * s.phibar
+	s.phibar = s.sn * s.phibar
+
+	// Direction update: w = (v − oldeps·w1 − delta·w2)/γ, rotating the
+	// direction history.
+	p.Copy(s.w1, s.w2)
+	p.Copy(s.w2, s.w)
+	p.Copy(s.w, s.v)
+	p.AxpyConst(s.w, -oldeps, s.w1)
+	p.AxpyConst(s.w, -delta, s.w2)
+	p.ScalConst(s.w, safeInv(gamma))
+	p.AxpyConst(core.SOL, phi, s.w)
+
+	s.res = p.Constant(s.phibar * s.phibar)
+}

@@ -1,0 +1,61 @@
+package solvers
+
+import "kdrsolvers/internal/core"
+
+// PCG is the preconditioned conjugate gradient method: CG accelerated by
+// the user-supplied preconditioner P ≈ A⁻¹ applied through the planner's
+// PSolve operation. The paper's Section 7 notes that extending classical
+// preconditioners to multi-operator systems is future work; package
+// precond provides Jacobi and block-Jacobi constructions that PCG
+// consumes.
+type PCG struct {
+	p           *core.Planner
+	pv, q, r, z core.VecID
+	rz          *core.Scalar
+	res         *core.Scalar
+}
+
+// NewPCG builds a preconditioned CG solver; the planner must have a
+// preconditioner.
+func NewPCG(p *core.Planner) *PCG {
+	if !p.IsSquare() {
+		panic("solvers: PCG requires a square system")
+	}
+	if !p.HasPreconditioner() {
+		panic("solvers: PCG requires a preconditioner (use CG instead)")
+	}
+	s := &PCG{
+		p:  p,
+		pv: p.AllocateWorkspace(core.SolShape),
+		q:  p.AllocateWorkspace(core.RhsShape),
+		r:  p.AllocateWorkspace(core.RhsShape),
+		z:  p.AllocateWorkspace(core.SolShape),
+	}
+	residualInit(p, s.r)
+	p.PSolve(s.z, s.r) // z = P r
+	p.Copy(s.pv, s.z)
+	s.rz = p.Dot(s.r, s.z)
+	s.res = p.Dot(s.r, s.r)
+	return s
+}
+
+// Name implements Solver.
+func (s *PCG) Name() string { return "PCG" }
+
+// ConvergenceMeasure implements Solver.
+func (s *PCG) ConvergenceMeasure() *core.Scalar { return s.res }
+
+// Step implements Solver: one PCG iteration, entirely deferred.
+func (s *PCG) Step() {
+	p := s.p
+	p.Matmul(s.q, s.pv)
+	alpha := p.Div(s.rz, p.Dot(s.pv, s.q))
+	p.Axpy(core.SOL, alpha, s.pv)
+	p.Axpy(s.r, p.Neg(alpha), s.q)
+	p.PSolve(s.z, s.r)
+	rzNew := p.Dot(s.r, s.z)
+	beta := p.Div(rzNew, s.rz)
+	p.Xpay(s.pv, beta, s.z)
+	s.rz = rzNew
+	s.res = p.Dot(s.r, s.r)
+}

@@ -1,0 +1,106 @@
+// Package solvers implements Krylov subspace methods against the
+// KDRSolvers planner interface (Figure 6 of the paper): CG, BiCGStab,
+// GMRES(m), MINRES, BiCG, and preconditioned CG.
+//
+// Solvers never touch storage formats, component structure, partitions, or
+// data placement — they see only the planner's vector and scalar
+// operations, which is the separation Section 5 describes. All solvers
+// share the Step/ConvergenceMeasure interface of the paper's Figure 7, so
+// they are drop-in replacements for one another.
+//
+// Scalar coefficients are deferred (core.Scalar): a solver's Step launches
+// its whole iteration without blocking, and the runtime pipelines
+// independent work across operations and iterations. Only the driver's
+// convergence check — or a solver that genuinely needs host-side scalar
+// control flow, like GMRES's restart solve — synchronizes.
+package solvers
+
+import (
+	"fmt"
+	"math"
+
+	"kdrsolvers/internal/core"
+)
+
+// Solver is one Krylov subspace method bound to a planner. Step launches
+// one iteration's tasks; ConvergenceMeasure returns the squared residual
+// norm ‖b − Ax‖² as a deferred scalar.
+type Solver interface {
+	// Step launches one iteration.
+	Step()
+	// ConvergenceMeasure returns the current squared residual norm.
+	ConvergenceMeasure() *core.Scalar
+	// Name returns the method's conventional name.
+	Name() string
+}
+
+// New constructs the named solver on a planner. Recognized names are
+// "cg", "bicgstab", "gmres" (restart 10, as in the paper's benchmarks),
+// "minres", "bicg", "pcg", and "cgs". It panics on an unknown name.
+func New(name string, p *core.Planner) Solver {
+	switch name {
+	case "cg":
+		return NewCG(p)
+	case "bicgstab":
+		return NewBiCGStab(p)
+	case "gmres":
+		return NewGMRES(p, 10)
+	case "minres":
+		return NewMINRES(p)
+	case "bicg":
+		return NewBiCG(p)
+	case "pcg":
+		return NewPCG(p)
+	case "cgs":
+		return NewCGS(p)
+	}
+	panic(fmt.Sprintf("solvers: unknown solver %q", name))
+}
+
+// Names lists the recognized solver names.
+var Names = []string{"cg", "bicgstab", "gmres", "minres", "bicg", "pcg", "cgs"}
+
+// RunIterations executes exactly n steps without convergence checks —
+// the paper's benchmark mode (tolerances were set to extreme values to
+// prevent early exit).
+func RunIterations(s Solver, n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Result reports a converged (or abandoned) solve.
+type Result struct {
+	// Iterations is the number of steps executed.
+	Iterations int
+	// Residual is the final residual 2-norm.
+	Residual float64
+	// Converged reports whether the tolerance was reached.
+	Converged bool
+}
+
+// Solve steps until the residual norm drops below tol or maxIter steps
+// have run. It synchronizes on the convergence measure every iteration,
+// like the paper's driver loop.
+func Solve(s Solver, tol float64, maxIter int) Result {
+	res := math.Sqrt(s.ConvergenceMeasure().Value())
+	if res <= tol {
+		return Result{Iterations: 0, Residual: res, Converged: true}
+	}
+	for i := 1; i <= maxIter; i++ {
+		s.Step()
+		res = math.Sqrt(s.ConvergenceMeasure().Value())
+		if res <= tol || math.IsNaN(res) {
+			return Result{Iterations: i, Residual: res, Converged: res <= tol}
+		}
+	}
+	return Result{Iterations: maxIter, Residual: res, Converged: false}
+}
+
+// residualInit launches r ← b − A·x into workspace r, the common
+// initialization of every method here.
+func residualInit(p *core.Planner, r core.VecID) {
+	p.Matmul(r, core.SOL)              // r = Ax
+	p.Scal(r, p.Constant(-1))          // r = -Ax
+	p.Axpy(r, p.Constant(1), core.RHS) // r = b - Ax
+}

@@ -1,0 +1,74 @@
+package sparse
+
+// CoordsFromCSR extracts the explicit nonzero coordinates of a CSR matrix.
+func CoordsFromCSR(a *CSR) []Coord {
+	out := make([]Coord, 0, a.NNZ())
+	for i := int64(0); i < a.rows; i++ {
+		for k := a.rowptr[i]; k < a.rowptr[i+1]; k++ {
+			out = append(out, Coord{Row: i, Col: a.colIdx[k], Val: a.vals[k]})
+		}
+	}
+	return out
+}
+
+// COOFromCSR converts a CSR matrix to COO, preserving row-major entry
+// order.
+func COOFromCSR(a *CSR) *COO {
+	n := a.NNZ()
+	rowIdx := make([]int64, n)
+	colIdx := make([]int64, n)
+	vals := make([]float64, n)
+	copy(colIdx, a.colIdx)
+	copy(vals, a.vals)
+	for i := int64(0); i < a.rows; i++ {
+		for k := a.rowptr[i]; k < a.rowptr[i+1]; k++ {
+			rowIdx[k] = i
+		}
+	}
+	return NewCOO(a.rows, a.cols, rowIdx, colIdx, vals)
+}
+
+// CSCFromCSR converts a CSR matrix to CSC.
+func CSCFromCSR(a *CSR) *CSC {
+	return CSCFromCoords(a.rows, a.cols, CoordsFromCSR(a))
+}
+
+// Transpose returns the transpose of a CSR matrix as CSR.
+func Transpose(a *CSR) *CSR {
+	coords := CoordsFromCSR(a)
+	for i := range coords {
+		coords[i].Row, coords[i].Col = coords[i].Col, coords[i].Row
+	}
+	return CSRFromCoords(a.cols, a.rows, coords)
+}
+
+// Convert re-encodes a CSR matrix into the named storage format. It is
+// the dispatch used by format-sweep benchmarks; block formats use 2 × 2
+// blocks and require even dimensions.
+func Convert(a *CSR, format string) Matrix {
+	switch format {
+	case "CSR":
+		return a
+	case "COO":
+		return COOFromCSR(a)
+	case "CSC":
+		return CSCFromCSR(a)
+	case "ELL":
+		return ELLFromCSR(a)
+	case "ELL'":
+		return ELLPrimeFromCSC(CSCFromCSR(a))
+	case "DIA":
+		return DIAFromCSR(a)
+	case "Dense":
+		return DenseFromMatrix(a)
+	case "BCSR":
+		return BCSRFromCSR(a, 2, 2)
+	case "BCSC":
+		return BCSCFromCSR(a, 2, 2)
+	}
+	panic("sparse: unknown format " + format)
+}
+
+// Formats lists every storage format Convert understands, in Figure 3
+// order.
+var Formats = []string{"Dense", "COO", "CSR", "CSC", "ELL", "ELL'", "DIA", "BCSR", "BCSC"}

@@ -1,0 +1,277 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kdrsolvers/internal/dpart"
+	"kdrsolvers/internal/index"
+)
+
+// randomCoords generates a random sparse matrix as coordinates with no
+// duplicate positions.
+func randomCoords(r *rand.Rand, rows, cols int64) []Coord {
+	n := r.Intn(int(rows*cols)/2 + 1)
+	seen := make(map[[2]int64]bool)
+	var out []Coord
+	for i := 0; i < n; i++ {
+		pos := [2]int64{r.Int63n(rows), r.Int63n(cols)}
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		out = append(out, Coord{Row: pos[0], Col: pos[1], Val: r.NormFloat64()})
+	}
+	return out
+}
+
+// denseFromCoords builds the reference dense array.
+func denseFromCoords(rows, cols int64, coords []Coord) []float64 {
+	out := make([]float64, rows*cols)
+	for _, c := range coords {
+		out[c.Row*cols+c.Col] += c.Val
+	}
+	return out
+}
+
+func densesEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// buildAll constructs the same matrix in every storage format.
+func buildAll(rows, cols int64, coords []Coord) []Matrix {
+	csr := CSRFromCoords(rows, cols, coords)
+	ms := []Matrix{
+		csr,
+		COOFromCoords(rows, cols, coords),
+		CSCFromCoords(rows, cols, coords),
+		ELLFromCSR(csr),
+		ELLPrimeFromCSC(CSCFromCSR(csr)),
+		DIAFromCSR(csr),
+		DenseFromMatrix(csr),
+	}
+	if rows%2 == 0 && cols%2 == 0 {
+		ms = append(ms, BCSRFromCSR(csr, 2, 2), BCSCFromCSR(csr, 2, 2))
+	}
+	return ms
+}
+
+func TestQuickFormatEquivalence(t *testing.T) {
+	// Property (Figure 3): every storage format defines the same linear
+	// transformation, for both A·x and Aᵀ·x.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 2 * (r.Int63n(6) + 1)
+		cols := 2 * (r.Int63n(6) + 1)
+		coords := randomCoords(r, rows, cols)
+		want := denseFromCoords(rows, cols, coords)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		xt := make([]float64, rows)
+		for i := range xt {
+			xt[i] = r.NormFloat64()
+		}
+		// Reference products.
+		wy := make([]float64, rows)
+		wyt := make([]float64, cols)
+		for i := int64(0); i < rows; i++ {
+			for j := int64(0); j < cols; j++ {
+				wy[i] += want[i*cols+j] * x[j]
+				wyt[j] += want[i*cols+j] * xt[i]
+			}
+		}
+		for _, m := range buildAll(rows, cols, coords) {
+			if !densesEqual(ToDense(m), want, 1e-12) {
+				t.Logf("%s dense mismatch (seed %d)", m.Format(), seed)
+				return false
+			}
+			y := make([]float64, rows)
+			m.MultiplyAdd(y, x)
+			if !densesEqual(y, wy, 1e-12) {
+				t.Logf("%s MultiplyAdd mismatch (seed %d)", m.Format(), seed)
+				return false
+			}
+			yt := make([]float64, cols)
+			m.MultiplyAddT(yt, xt)
+			if !densesEqual(yt, wyt, 1e-12) {
+				t.Logf("%s MultiplyAddT mismatch (seed %d)", m.Format(), seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPartitionedMultiplyAdd(t *testing.T) {
+	// Property (Section 3.1): splitting the kernel space into any
+	// partition and summing the per-piece restricted multiply-adds equals
+	// the whole product, for every format.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 2 * (r.Int63n(5) + 1)
+		cols := 2 * (r.Int63n(5) + 1)
+		coords := randomCoords(r, rows, cols)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for _, m := range buildAll(rows, cols, coords) {
+			if m.Kernel().Size() == 0 {
+				continue
+			}
+			want := make([]float64, rows)
+			m.MultiplyAdd(want, x)
+			pieces := r.Intn(4) + 1
+			kp := index.EqualPartition(m.Kernel(), pieces)
+			got := make([]float64, rows)
+			for c := 0; c < pieces; c++ {
+				m.MultiplyAddPart(got, x, kp.Piece(c))
+			}
+			if !densesEqual(got, want, 1e-12) {
+				t.Logf("%s partitioned MultiplyAdd mismatch (seed %d, %d pieces)",
+					m.Format(), seed, pieces)
+				return false
+			}
+			// Adjoint form.
+			xt := make([]float64, rows)
+			for i := range xt {
+				xt[i] = r.NormFloat64()
+			}
+			wantT := make([]float64, cols)
+			m.MultiplyAddT(wantT, xt)
+			gotT := make([]float64, cols)
+			for c := 0; c < pieces; c++ {
+				m.MultiplyAddTPart(gotT, xt, kp.Piece(c))
+			}
+			if !densesEqual(gotT, wantT, 1e-12) {
+				t.Logf("%s partitioned MultiplyAddT mismatch (seed %d)", m.Format(), seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRelationsMatchEntries(t *testing.T) {
+	// Property: for every format, the row/col relations agree with where
+	// MultiplyAdd actually reads and writes — Image of the full kernel
+	// covers exactly the rows/cols with stored entries (padding formats
+	// may cover more rows/cols, but never fewer).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 2 * (r.Int63n(5) + 1)
+		cols := 2 * (r.Int63n(5) + 1)
+		coords := randomCoords(r, rows, cols)
+		if len(coords) == 0 {
+			return true
+		}
+		var wantRows, wantCols []int64
+		for _, c := range coords {
+			wantRows = append(wantRows, c.Row)
+			wantCols = append(wantCols, c.Col)
+		}
+		rset := index.FromPoints(wantRows)
+		cset := index.FromPoints(wantCols)
+		for _, m := range buildAll(rows, cols, coords) {
+			full := m.Kernel().Set
+			if !m.RowRelation().Image(full).ContainsSet(rset) {
+				t.Logf("%s row relation misses rows (seed %d)", m.Format(), seed)
+				return false
+			}
+			if !m.ColRelation().Image(full).ContainsSet(cset) {
+				t.Logf("%s col relation misses cols (seed %d)", m.Format(), seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoPartitioningSoundness(t *testing.T) {
+	// The paper's central soundness claim: given a disjoint partition P of
+	// R, each piece y_c of y = Ax is computable from only the kernel piece
+	// row[R→K][P](c) and the domain piece col[K→D][row[R→K][P]](c).
+	// We verify by masking: zero out x outside the derived domain piece,
+	// run the restricted multiply-add, and compare y on P(c).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 2 * (r.Int63n(5) + 1)
+		cols := 2 * (r.Int63n(5) + 1)
+		coords := randomCoords(r, rows, cols)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for _, m := range buildAll(rows, cols, coords) {
+			want := make([]float64, rows)
+			m.MultiplyAdd(want, x)
+			pieces := r.Intn(3) + 1
+			rp := index.EqualPartition(m.Range(), pieces)
+			kp := dpart.RowRToK(m.RowRelation(), rp)
+			dp := dpart.ColKToD(m.ColRelation(), kp)
+			for c := 0; c < pieces; c++ {
+				masked := make([]float64, cols)
+				dp.Piece(c).Each(func(j int64) {
+					if j >= 0 && j < cols {
+						masked[j] = x[j]
+					}
+				})
+				got := make([]float64, rows)
+				m.MultiplyAddPart(got, masked, kp.Piece(c))
+				ok := true
+				rp.Piece(c).Each(func(i int64) {
+					if math.Abs(got[i]-want[i]) > 1e-12 {
+						ok = false
+					}
+				})
+				if !ok {
+					t.Logf("%s co-partitioning unsound (seed %d, color %d)", m.Format(), seed, c)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	a := Laplacian1D(4)
+	for _, fn := range []func(){
+		func() { a.MultiplyAdd(make([]float64, 3), make([]float64, 4)) },
+		func() { a.MultiplyAddT(make([]float64, 4), make([]float64, 5)) },
+		func() { SpMV(a, make([]float64, 5), make([]float64, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected shape panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

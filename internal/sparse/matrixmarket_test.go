@@ -1,0 +1,106 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 4
+1 1 2.5
+2 3 -1
+3 4 7
+1 2 0.5
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := Dims(a); r != 3 || c != 4 {
+		t.Fatalf("dims %d x %d", r, c)
+	}
+	d := ToDense(a)
+	if d[0] != 2.5 || d[1] != 0.5 || d[1*4+2] != -1 || d[2*4+3] != 7 {
+		t.Fatalf("entries wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 4
+2 1 -1
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ToDense(a)
+	if d[0] != 4 || d[1] != -1 || d[2] != -1 || d[3] != 0 {
+		t.Fatalf("symmetric expansion wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket tensor coordinate real general\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n1 1\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n0 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",    // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",    // count short
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",      // malformed entry
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zero\n", // bad value
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := r.Int63n(10) + 1
+		cols := r.Int63n(10) + 1
+		a := CSRFromCoords(rows, cols, randomCoords(r, rows, cols))
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			return false
+		}
+		b, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return densesEqual(ToDense(a), ToDense(b), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteMatrixMarketNonCSR(t *testing.T) {
+	// Writing goes through the dense probe for non-CSR formats.
+	a := COOFromCoords(2, 3, []Coord{{Row: 0, Col: 2, Val: 1.5}, {Row: 1, Col: 0, Val: -2}})
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !densesEqual(ToDense(a), ToDense(b), 0) {
+		t.Fatal("round trip through dense probe failed")
+	}
+}

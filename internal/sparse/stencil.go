@@ -1,0 +1,248 @@
+package sparse
+
+import (
+	"fmt"
+
+	"kdrsolvers/internal/index"
+)
+
+// StencilKind selects one of the four Laplacian stencil families used in
+// the paper's evaluation (Section 6.1). The numeric values match the -dim
+// codes of the BenchmarkStencil program in the artifact description.
+type StencilKind int
+
+const (
+	// Stencil1D3 is the 3-point stencil for the 1D Laplacian.
+	Stencil1D3 StencilKind = 1
+	// Stencil2D5 is the 5-point stencil for the 2D Laplacian.
+	Stencil2D5 StencilKind = 2
+	// Stencil3D7 is the 7-point stencil for the 3D Laplacian.
+	Stencil3D7 StencilKind = 3
+	// Stencil3D27 is the 27-point stencil for the 3D Laplacian.
+	Stencil3D27 StencilKind = 4
+)
+
+// String returns the paper's name for the stencil.
+func (s StencilKind) String() string {
+	switch s {
+	case Stencil1D3:
+		return "3pt-1D"
+	case Stencil2D5:
+		return "5pt-2D"
+	case Stencil3D7:
+		return "7pt-3D"
+	case Stencil3D27:
+		return "27pt-3D"
+	}
+	return fmt.Sprintf("StencilKind(%d)", int(s))
+}
+
+// PointsPerRow returns the maximum nonzeros per matrix row.
+func (s StencilKind) PointsPerRow() int64 {
+	switch s {
+	case Stencil1D3:
+		return 3
+	case Stencil2D5:
+		return 5
+	case Stencil3D7:
+		return 7
+	case Stencil3D27:
+		return 27
+	}
+	panic("sparse: unknown stencil kind")
+}
+
+// Rank returns the spatial dimension of the stencil.
+func (s StencilKind) Rank() int {
+	if s == Stencil1D3 {
+		return 1
+	}
+	if s == Stencil2D5 {
+		return 2
+	}
+	return 3
+}
+
+// GridFor builds a grid of roughly n unknowns with the stencil's rank,
+// splitting the extent as evenly as possible across dimensions (each
+// extent a power of two when n is).
+func (s StencilKind) GridFor(n int64) index.Grid {
+	switch s.Rank() {
+	case 1:
+		return index.NewGrid(n)
+	case 2:
+		nx := int64(1)
+		for nx*nx < n {
+			nx *= 2
+		}
+		return index.NewGrid(nx, n/nx)
+	default:
+		nx := int64(1)
+		for nx*nx*nx < n {
+			nx *= 2
+		}
+		ny := int64(1)
+		for nx*ny*ny < n {
+			ny *= 2
+		}
+		return index.NewGrid(nx, ny, n/(nx*ny))
+	}
+}
+
+// Laplacian1D builds the 3-point finite-difference Laplacian on a 1D grid
+// of nx points with Dirichlet boundaries, in CSR form. The diagonal is 2
+// and off-diagonals are -1, making the matrix symmetric positive definite.
+func Laplacian1D(nx int64) *CSR {
+	rowptr := make([]int64, nx+1)
+	colIdx := make([]int64, 0, 3*nx)
+	vals := make([]float64, 0, 3*nx)
+	for i := int64(0); i < nx; i++ {
+		rowptr[i] = int64(len(vals))
+		if i > 0 {
+			colIdx = append(colIdx, i-1)
+			vals = append(vals, -1)
+		}
+		colIdx = append(colIdx, i)
+		vals = append(vals, 2)
+		if i < nx-1 {
+			colIdx = append(colIdx, i+1)
+			vals = append(vals, -1)
+		}
+	}
+	rowptr[nx] = int64(len(vals))
+	return NewCSR(nx, nx, rowptr, colIdx, vals)
+}
+
+// Laplacian2D builds the 5-point Laplacian on an nx × ny grid with
+// Dirichlet boundaries, in CSR form (diagonal 4, neighbors -1).
+func Laplacian2D(nx, ny int64) *CSR {
+	g := index.NewGrid(nx, ny)
+	n := g.Size()
+	rowptr := make([]int64, n+1)
+	colIdx := make([]int64, 0, 5*n)
+	vals := make([]float64, 0, 5*n)
+	add := func(c int64, v float64) {
+		colIdx = append(colIdx, c)
+		vals = append(vals, v)
+	}
+	for i := int64(0); i < nx; i++ {
+		for j := int64(0); j < ny; j++ {
+			row := g.Linearize(i, j)
+			rowptr[row] = int64(len(vals))
+			if i > 0 {
+				add(g.Linearize(i-1, j), -1)
+			}
+			if j > 0 {
+				add(g.Linearize(i, j-1), -1)
+			}
+			add(row, 4)
+			if j < ny-1 {
+				add(g.Linearize(i, j+1), -1)
+			}
+			if i < nx-1 {
+				add(g.Linearize(i+1, j), -1)
+			}
+		}
+	}
+	rowptr[n] = int64(len(vals))
+	return NewCSR(n, n, rowptr, colIdx, vals)
+}
+
+// Laplacian3D builds the 7-point Laplacian on an nx × ny × nz grid with
+// Dirichlet boundaries, in CSR form (diagonal 6, neighbors -1).
+func Laplacian3D(nx, ny, nz int64) *CSR {
+	g := index.NewGrid(nx, ny, nz)
+	n := g.Size()
+	rowptr := make([]int64, n+1)
+	colIdx := make([]int64, 0, 7*n)
+	vals := make([]float64, 0, 7*n)
+	add := func(c int64, v float64) {
+		colIdx = append(colIdx, c)
+		vals = append(vals, v)
+	}
+	for i := int64(0); i < nx; i++ {
+		for j := int64(0); j < ny; j++ {
+			for k := int64(0); k < nz; k++ {
+				row := g.Linearize(i, j, k)
+				rowptr[row] = int64(len(vals))
+				if i > 0 {
+					add(g.Linearize(i-1, j, k), -1)
+				}
+				if j > 0 {
+					add(g.Linearize(i, j-1, k), -1)
+				}
+				if k > 0 {
+					add(g.Linearize(i, j, k-1), -1)
+				}
+				add(row, 6)
+				if k < nz-1 {
+					add(g.Linearize(i, j, k+1), -1)
+				}
+				if j < ny-1 {
+					add(g.Linearize(i, j+1, k), -1)
+				}
+				if i < nx-1 {
+					add(g.Linearize(i+1, j, k), -1)
+				}
+			}
+		}
+	}
+	rowptr[n] = int64(len(vals))
+	return NewCSR(n, n, rowptr, colIdx, vals)
+}
+
+// Laplacian3D27 builds the 27-point Laplacian on an nx × ny × nz grid with
+// Dirichlet boundaries, in CSR form (diagonal 26, all neighbors in the
+// 3 × 3 × 3 cube -1). The matrix is symmetric and diagonally dominant,
+// hence positive semidefinite; interior Dirichlet truncation makes it
+// positive definite.
+func Laplacian3D27(nx, ny, nz int64) *CSR {
+	g := index.NewGrid(nx, ny, nz)
+	n := g.Size()
+	rowptr := make([]int64, n+1)
+	colIdx := make([]int64, 0, 27*n)
+	vals := make([]float64, 0, 27*n)
+	for i := int64(0); i < nx; i++ {
+		for j := int64(0); j < ny; j++ {
+			for k := int64(0); k < nz; k++ {
+				row := g.Linearize(i, j, k)
+				rowptr[row] = int64(len(vals))
+				for di := int64(-1); di <= 1; di++ {
+					for dj := int64(-1); dj <= 1; dj++ {
+						for dk := int64(-1); dk <= 1; dk++ {
+							ii, jj, kk := i+di, j+dj, k+dk
+							if !g.Contains(ii, jj, kk) {
+								continue
+							}
+							if di == 0 && dj == 0 && dk == 0 {
+								colIdx = append(colIdx, row)
+								vals = append(vals, 26)
+							} else {
+								colIdx = append(colIdx, g.Linearize(ii, jj, kk))
+								vals = append(vals, -1)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	rowptr[n] = int64(len(vals))
+	return NewCSR(n, n, rowptr, colIdx, vals)
+}
+
+// Stencil builds the requested stencil matrix on a grid, dispatching on
+// kind and the grid's rank. The grid rank must match the stencil.
+func Stencil(kind StencilKind, g index.Grid) *CSR {
+	switch kind {
+	case Stencil1D3:
+		return Laplacian1D(g.Dims[0])
+	case Stencil2D5:
+		return Laplacian2D(g.Dims[0], g.Dims[1])
+	case Stencil3D7:
+		return Laplacian3D(g.Dims[0], g.Dims[1], g.Dims[2])
+	case Stencil3D27:
+		return Laplacian3D27(g.Dims[0], g.Dims[1], g.Dims[2])
+	}
+	panic("sparse: unknown stencil kind")
+}

@@ -1,0 +1,56 @@
+package taskrt
+
+import "sync"
+
+// A Future is the eventual scalar result of a task, in the style of
+// Legion futures. Solvers receive dot products as futures and block only
+// when the value is actually needed, which lets independent vector work
+// launched earlier keep running.
+type Future struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done bool
+	val  float64
+}
+
+func newFuture() *Future {
+	f := &Future{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// set delivers the value and wakes all waiters.
+func (f *Future) set(v float64) {
+	f.mu.Lock()
+	f.val = v
+	f.done = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Value blocks until the producing task completes, then returns the
+// result.
+func (f *Future) Value() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for !f.done {
+		f.cond.Wait()
+	}
+	return f.val
+}
+
+// Ready reports whether the value is already available.
+func (f *Future) Ready() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
+
+// Resolved returns an already-completed future holding v. It is useful
+// for scalar arithmetic that needs no task.
+func Resolved(v float64) *Future {
+	f := newFuture()
+	f.done = true
+	f.val = v
+	return f
+}

@@ -1,0 +1,319 @@
+package taskrt
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/region"
+)
+
+// TaskSpec describes one task launch.
+type TaskSpec struct {
+	// Name labels the task kind for diagnostics and the recorded graph.
+	Name string
+	// Proc is the simulated processor the mapper chose for the task.
+	Proc int
+	// Cost is the task's simulated compute time in seconds.
+	Cost float64
+	// Refs declares every piece of data the task touches. The runtime
+	// derives dependences from these; a task must not touch data it does
+	// not declare.
+	Refs []region.Ref
+	// Run performs the task's real computation and returns its scalar
+	// result (delivered through the launch's Future). A nil Run records
+	// the task in the graph without any real work.
+	Run func() float64
+	// Host marks the task as host-side future arithmetic (see Node.Host).
+	Host bool
+}
+
+// Stats counts runtime activity, exposed for tests and ablation studies.
+type Stats struct {
+	// Launched is the number of tasks launched.
+	Launched int64
+	// DepEdges is the number of dependence edges discovered.
+	DepEdges int64
+	// AnalysisScans is the number of history entries examined by the
+	// interference analysis.
+	AnalysisScans int64
+	// TraceReplays is the number of tasks launched inside a memoized
+	// trace.
+	TraceReplays int64
+}
+
+// histKey identifies one field of one region in the dependence history.
+type histKey struct {
+	region region.ID
+	field  string
+}
+
+// histEntry is one prior access recorded for interference analysis.
+type histEntry struct {
+	task   int64
+	subset index.IntervalSet
+	priv   region.Privilege
+}
+
+// taskState tracks an incomplete task's scheduling state.
+type taskState struct {
+	id      int64
+	run     func() float64
+	future  *Future
+	pending int
+	succs   []*taskState
+}
+
+// Runtime launches tasks, derives their dependence graph from region
+// references, executes them concurrently on a goroutine pool, and records
+// the annotated graph for the simulator. The zero value is not usable;
+// call New.
+//
+// Launch, Drain, BeginTrace, EndTrace, and Graph are safe for concurrent
+// use, though the usual client is a single solver goroutine.
+type Runtime struct {
+	mu      sync.Mutex
+	hist    map[histKey][]histEntry
+	tasks   map[int64]*taskState // incomplete tasks only
+	graph   Graph
+	stats   Stats
+	wg      sync.WaitGroup
+	sem     chan struct{}
+	traces  map[string]bool
+	replay  bool
+	tracing bool
+	err     error
+}
+
+// New returns an empty runtime executing up to GOMAXPROCS tasks
+// concurrently.
+func New() *Runtime {
+	return &Runtime{
+		hist:   make(map[histKey][]histEntry),
+		tasks:  make(map[int64]*taskState),
+		sem:    make(chan struct{}, runtime.GOMAXPROCS(0)),
+		traces: make(map[string]bool),
+	}
+}
+
+// Launch submits a task. Dependence analysis against previously launched
+// tasks happens immediately; execution happens asynchronously once all
+// dependences complete. The returned future delivers Run's result.
+func (rt *Runtime) Launch(spec TaskSpec) *Future {
+	fut := newFuture()
+
+	rt.mu.Lock()
+	id := int64(len(rt.graph.Nodes))
+	depBytes := make(map[int64]int64)
+	for _, ref := range spec.Refs {
+		rt.analyze(id, ref, depBytes)
+	}
+
+	deps := make([]int64, 0, len(depBytes))
+	for d := range depBytes {
+		deps = append(deps, d)
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	bytes := make([]int64, len(deps))
+	for i, d := range deps {
+		bytes[i] = depBytes[d]
+	}
+	rt.graph.Nodes = append(rt.graph.Nodes, Node{
+		ID: id, Name: spec.Name, Proc: spec.Proc, Cost: spec.Cost,
+		Deps: deps, DepBytes: bytes, Traced: rt.replay, Host: spec.Host,
+	})
+	rt.stats.Launched++
+	rt.stats.DepEdges += int64(len(deps))
+	if rt.replay {
+		rt.stats.TraceReplays++
+	}
+
+	ts := &taskState{id: id, run: spec.Run, future: fut}
+	for _, d := range deps {
+		if pred, live := rt.tasks[d]; live {
+			pred.succs = append(pred.succs, ts)
+			ts.pending++
+		}
+	}
+	rt.tasks[id] = ts
+	rt.wg.Add(1)
+	ready := ts.pending == 0
+	rt.mu.Unlock()
+
+	if ready {
+		go rt.execute(ts)
+	}
+	return fut
+}
+
+// analyze records dependences of a new reference against the history and
+// updates the history, all under rt.mu.
+func (rt *Runtime) analyze(id int64, ref region.Ref, depBytes map[int64]int64) {
+	key := histKey{ref.Region, ref.Field}
+	entries := rt.hist[key]
+	kept := entries[:0]
+	for _, e := range entries {
+		rt.stats.AnalysisScans++
+		if e.task == id {
+			// Another reference of the task being launched; a task never
+			// depends on itself.
+			kept = append(kept, e)
+			continue
+		}
+		if region.Conflicts(e.priv, ref.Priv) && e.subset.Overlaps(ref.Subset) {
+			n := depBytes[e.task]
+			// Data flows along the edge only when the predecessor wrote
+			// and the successor actually reads (RO/RW); WriteDiscard and
+			// ReduceSum need ordering but no incoming accumulator data.
+			if e.priv.Writes() && (ref.Priv == region.ReadOnly || ref.Priv == region.ReadWrite) {
+				n += region.VectorBytesOf(e.subset.Intersect(ref.Subset))
+			}
+			depBytes[e.task] = n
+		}
+		// A new writer shadows the covered part of every older entry:
+		// any later task conflicting there also conflicts with the new
+		// writer, and ordering through it is transitive (and the new
+		// writer holds the covered part's current data). Shrinking —
+		// rather than only dropping fully-covered entries — keeps the
+		// history bounded when writers touch pieces of a region that
+		// long-lived readers span, and routes each future read to the
+		// writer that actually produced each part.
+		if ref.Priv.Writes() && e.subset.Overlaps(ref.Subset) {
+			e.subset = e.subset.Subtract(ref.Subset)
+			if e.subset.Empty() {
+				continue // fully shadowed
+			}
+		}
+		kept = append(kept, e)
+	}
+	rt.hist[key] = append(kept, histEntry{task: id, subset: ref.Subset, priv: ref.Priv})
+}
+
+// execute runs one ready task and then releases its successors.
+func (rt *Runtime) execute(ts *taskState) {
+	rt.sem <- struct{}{}
+	val := rt.runGuarded(ts)
+	<-rt.sem
+	ts.future.set(val)
+
+	rt.mu.Lock()
+	delete(rt.tasks, ts.id)
+	var ready []*taskState
+	for _, s := range ts.succs {
+		s.pending--
+		if s.pending == 0 {
+			ready = append(ready, s)
+		}
+	}
+	rt.mu.Unlock()
+
+	for _, s := range ready {
+		go rt.execute(s)
+	}
+	rt.wg.Done()
+}
+
+// runGuarded executes the task body, converting a panic into a recorded
+// runtime error so one faulty kernel cannot crash the process or
+// deadlock future waiters. Failed tasks deliver NaN.
+func (rt *Runtime) runGuarded(ts *taskState) (val float64) {
+	if ts.run == nil {
+		return 0
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			val = math.NaN()
+			rt.mu.Lock()
+			if rt.err == nil {
+				name := "?"
+				if int(ts.id) < len(rt.graph.Nodes) {
+					name = rt.graph.Nodes[ts.id].Name
+				}
+				rt.err = fmt.Errorf("taskrt: task %d (%s) panicked: %v", ts.id, name, r)
+			}
+			rt.mu.Unlock()
+		}
+	}()
+	return ts.run()
+}
+
+// Drain blocks until every launched task has completed.
+func (rt *Runtime) Drain() { rt.wg.Wait() }
+
+// Err returns the first task failure, if any. Successors of a failed task
+// still run (typically on NaN-poisoned data); callers that care should
+// check Err after Drain.
+func (rt *Runtime) Err() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err
+}
+
+// Graph returns a snapshot of the recorded task graph. Call Drain first
+// if the graph must reflect a quiescent state. The snapshot is O(1):
+// nodes are immutable once recorded, so the returned graph shares their
+// storage (callers must not modify it) and is unaffected by later
+// launches.
+func (rt *Runtime) Graph() Graph {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := len(rt.graph.Nodes)
+	return Graph{Nodes: rt.graph.Nodes[:n:n]}
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// BeginTrace opens a trace scope. The first execution of a given key
+// records the trace; later executions replay it, marking their tasks as
+// memoized (lower launch overhead in the simulator). Traces must not
+// nest.
+func (rt *Runtime) BeginTrace(key string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.tracing {
+		panic("taskrt: traces must not nest")
+	}
+	rt.tracing = true
+	rt.replay = rt.traces[key]
+	rt.traces[key] = true
+}
+
+// EndTrace closes the current trace scope.
+func (rt *Runtime) EndTrace() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.tracing {
+		panic("taskrt: EndTrace without BeginTrace")
+	}
+	rt.tracing = false
+	rt.replay = false
+}
+
+// String summarizes the runtime state.
+func (rt *Runtime) String() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return fmt.Sprintf("runtime(%d tasks, %d edges)", rt.stats.Launched, rt.stats.DepEdges)
+}
+
+// IndexLaunch launches one point task per color of a color space
+// [0, n), the runtime analogue of Legion's index task launches (Soi et
+// al., SC'21): a single logical operation over a partition becomes n
+// point tasks whose dependences the runtime derives individually. point
+// builds the spec for one color. The returned futures are in color
+// order.
+func (rt *Runtime) IndexLaunch(n int, point func(color int) TaskSpec) []*Future {
+	futs := make([]*Future, n)
+	for c := 0; c < n; c++ {
+		futs[c] = rt.Launch(point(c))
+	}
+	return futs
+}

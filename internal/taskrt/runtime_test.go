@@ -1,0 +1,567 @@
+package taskrt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/region"
+)
+
+func ref(r *region.Region, field string, lo, hi int64, p region.Privilege) region.Ref {
+	return region.Ref{Region: r.ID(), Field: field, Subset: index.Span(lo, hi), Priv: p}
+}
+
+func TestRAWDependence(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 8), "x")
+	data := r.Field("x")
+
+	rt.Launch(TaskSpec{
+		Name: "write",
+		Refs: []region.Ref{ref(r, "x", 0, 7, region.WriteDiscard)},
+		Run: func() float64 {
+			for i := range data {
+				data[i] = 3
+			}
+			return 0
+		},
+	})
+	sum := rt.Launch(TaskSpec{
+		Name: "read",
+		Refs: []region.Ref{ref(r, "x", 0, 7, region.ReadOnly)},
+		Run: func() float64 {
+			var s float64
+			for _, v := range data {
+				s += v
+			}
+			return s
+		},
+	})
+	if got := sum.Value(); got != 24 {
+		t.Fatalf("reader saw %g, want 24", got)
+	}
+	rt.Drain()
+
+	g := rt.Graph()
+	if g.Len() != 2 {
+		t.Fatalf("graph has %d nodes", g.Len())
+	}
+	n := g.Nodes[1]
+	if len(n.Deps) != 1 || n.Deps[0] != 0 {
+		t.Fatalf("reader deps = %v", n.Deps)
+	}
+	if n.DepBytes[0] != 64 {
+		t.Fatalf("dep bytes = %d, want 64", n.DepBytes[0])
+	}
+}
+
+func TestIndependentTasksHaveNoEdges(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 16), "x")
+	for c := 0; c < 4; c++ {
+		lo := int64(c * 4)
+		rt.Launch(TaskSpec{
+			Name: "piece",
+			Refs: []region.Ref{ref(r, "x", lo, lo+3, region.ReadWrite)},
+			Run:  func() float64 { return 0 },
+		})
+	}
+	rt.Drain()
+	for _, n := range rt.Graph().Nodes {
+		if len(n.Deps) != 0 {
+			t.Fatalf("disjoint pieces must not depend on each other: %+v", n)
+		}
+	}
+}
+
+func TestReadersDoNotConflict(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 4), "x")
+	for i := 0; i < 3; i++ {
+		rt.Launch(TaskSpec{
+			Name: "read",
+			Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadOnly)},
+		})
+	}
+	rt.Drain()
+	if got := rt.Stats().DepEdges; got != 0 {
+		t.Fatalf("readers produced %d edges", got)
+	}
+}
+
+func TestWARAndWAWSerialize(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 4), "x")
+	var order []string
+	var mu sync.Mutex
+	log := func(s string) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+			return 0
+		}
+	}
+	rt.Launch(TaskSpec{Name: "w1", Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadWrite)}, Run: log("w1")})
+	rt.Launch(TaskSpec{Name: "r1", Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadOnly)}, Run: log("r1")})
+	rt.Launch(TaskSpec{Name: "w2", Refs: []region.Ref{ref(r, "x", 0, 3, region.WriteDiscard)}, Run: log("w2")})
+	rt.Drain()
+	if len(order) != 3 || order[0] != "w1" || order[1] != "r1" || order[2] != "w2" {
+		t.Fatalf("order = %v, want [w1 r1 w2]", order)
+	}
+	// WriteDiscard after a reader is ordering-only: no bytes move.
+	g := rt.Graph()
+	for i, b := range g.Nodes[2].DepBytes {
+		if b != 0 {
+			t.Fatalf("w2 dep %d carries %d bytes, want 0", g.Nodes[2].Deps[i], b)
+		}
+	}
+}
+
+func TestReduceSerializedDeterministically(t *testing.T) {
+	// Reductions into overlapping data run in launch order, keeping
+	// floating-point results deterministic. We verify with a
+	// non-commutative update that the order really is launch order.
+	for trial := 0; trial < 10; trial++ {
+		rt := New()
+		r := region.New("acc", index.NewSpace("D", 1), "x")
+		data := r.Field("x")
+		data[0] = 0
+		for i := 1; i <= 5; i++ {
+			v := float64(i)
+			rt.Launch(TaskSpec{
+				Name: "reduce",
+				Refs: []region.Ref{ref(r, "x", 0, 0, region.ReduceSum)},
+				Run: func() float64 {
+					data[0] = data[0]*10 + v
+					return 0
+				},
+			})
+		}
+		rt.Drain()
+		if data[0] != 12345 {
+			t.Fatalf("trial %d: reductions ran out of order: %g", trial, data[0])
+		}
+	}
+}
+
+func TestPartialOverlapDependence(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 10), "x")
+	rt.Launch(TaskSpec{Name: "a", Refs: []region.Ref{ref(r, "x", 0, 5, region.ReadWrite)}})
+	rt.Launch(TaskSpec{Name: "b", Refs: []region.Ref{ref(r, "x", 6, 9, region.ReadWrite)}})
+	rt.Launch(TaskSpec{Name: "c", Refs: []region.Ref{ref(r, "x", 4, 7, region.ReadOnly)}})
+	rt.Drain()
+	g := rt.Graph()
+	c := g.Nodes[2]
+	if len(c.Deps) != 2 {
+		t.Fatalf("c deps = %v, want both writers", c.Deps)
+	}
+	// Bytes: overlap with a is [4,5] = 16B, with b is [6,7] = 16B.
+	for i := range c.Deps {
+		if c.DepBytes[i] != 16 {
+			t.Fatalf("dep %d bytes = %d, want 16", c.Deps[i], c.DepBytes[i])
+		}
+	}
+}
+
+func TestHistoryDomination(t *testing.T) {
+	// Repeated full-region writers prune the history so analysis work per
+	// launch stays constant across iterations.
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 64), "x")
+	for i := 0; i < 50; i++ {
+		rt.Launch(TaskSpec{Name: "w", Refs: []region.Ref{ref(r, "x", 0, 63, region.ReadWrite)}})
+	}
+	rt.Drain()
+	st := rt.Stats()
+	// Each launch after the first scans exactly one history entry.
+	if st.AnalysisScans > 2*st.Launched {
+		t.Fatalf("history not pruned: %d scans for %d launches", st.AnalysisScans, st.Launched)
+	}
+	// And the chain is fully serialized.
+	g := rt.Graph()
+	for i := 1; i < g.Len(); i++ {
+		if len(g.Nodes[i].Deps) != 1 || g.Nodes[i].Deps[0] != int64(i-1) {
+			t.Fatalf("node %d deps = %v", i, g.Nodes[i].Deps)
+		}
+	}
+}
+
+func TestNoSelfDependence(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 8), "x")
+	// One task both reads and writes overlapping subsets of one field.
+	rt.Launch(TaskSpec{Name: "rw", Refs: []region.Ref{
+		ref(r, "x", 0, 7, region.ReadOnly),
+		ref(r, "x", 2, 5, region.ReadWrite),
+	}})
+	rt.Drain()
+	n := rt.Graph().Nodes[0]
+	if len(n.Deps) != 0 {
+		t.Fatalf("task depends on itself: %v", n.Deps)
+	}
+}
+
+func TestFutures(t *testing.T) {
+	rt := New()
+	f := rt.Launch(TaskSpec{Name: "t", Run: func() float64 { return 42 }})
+	if got := f.Value(); got != 42 {
+		t.Fatalf("Value = %g", got)
+	}
+	if !f.Ready() {
+		t.Fatal("future should be ready after Value")
+	}
+	if Resolved(7).Value() != 7 || !Resolved(7).Ready() {
+		t.Fatal("Resolved wrong")
+	}
+	rt.Drain()
+}
+
+func TestTraceReplayFlags(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 4), "x")
+	iter := func() {
+		rt.BeginTrace("cg-step")
+		rt.Launch(TaskSpec{Name: "a", Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadWrite)}})
+		rt.Launch(TaskSpec{Name: "b", Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadOnly)}})
+		rt.EndTrace()
+	}
+	iter() // records
+	iter() // replays
+	iter() // replays
+	rt.Drain()
+	g := rt.Graph()
+	for i, n := range g.Nodes {
+		wantTraced := i >= 2
+		if n.Traced != wantTraced {
+			t.Errorf("node %d Traced = %v, want %v", i, n.Traced, wantTraced)
+		}
+	}
+	if got := rt.Stats().TraceReplays; got != 4 {
+		t.Fatalf("TraceReplays = %d, want 4", got)
+	}
+}
+
+func TestTraceMisuse(t *testing.T) {
+	rt := New()
+	rt.BeginTrace("t")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested BeginTrace should panic")
+			}
+		}()
+		rt.BeginTrace("u")
+	}()
+	rt.EndTrace()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unmatched EndTrace should panic")
+			}
+		}()
+		rt.EndTrace()
+	}()
+}
+
+func TestStressRandomDAGRespectsDependences(t *testing.T) {
+	// Launch many tasks with random subsets; every task records a
+	// timestamp on start and verifies that all graph dependences
+	// completed first.
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 40), "x")
+	const n = 300
+	var clock atomic.Int64
+	started := make([]atomic.Int64, n)
+	finished := make([]atomic.Int64, n)
+	rng := rand.New(rand.NewSource(7))
+	privs := []region.Privilege{region.ReadOnly, region.ReadWrite, region.WriteDiscard, region.ReduceSum}
+	for i := 0; i < n; i++ {
+		lo := rng.Int63n(40)
+		hi := lo + rng.Int63n(40-lo)
+		p := privs[rng.Intn(len(privs))]
+		i := i
+		rt.Launch(TaskSpec{
+			Name: "t",
+			Refs: []region.Ref{ref(r, "x", lo, hi, p)},
+			Run: func() float64 {
+				started[i].Store(clock.Add(1))
+				finished[i].Store(clock.Add(1))
+				return 0
+			},
+		})
+	}
+	rt.Drain()
+	g := rt.Graph()
+	for i, node := range g.Nodes {
+		for _, d := range node.Deps {
+			if finished[d].Load() >= started[i].Load() {
+				t.Fatalf("task %d started at %d before dep %d finished at %d",
+					i, started[i].Load(), d, finished[d].Load())
+			}
+		}
+	}
+	if rt.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestGraphCostHelpers(t *testing.T) {
+	var g Graph
+	a := g.Add(Node{Name: "a", Cost: 2})
+	b := g.Add(Node{Name: "b", Cost: 3})
+	g.Add(Node{Name: "c", Cost: 4, Deps: []int64{a, b}})
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := g.TotalCost(); got != 9 {
+		t.Fatalf("TotalCost = %g", got)
+	}
+	// Critical path: max(2,3) + 4 = 7.
+	if got := g.CriticalPathCost(); got != 7 {
+		t.Fatalf("CriticalPathCost = %g", got)
+	}
+}
+
+func TestMappers(t *testing.T) {
+	rr := RoundRobinMapper{NumProcs: 4}
+	if rr.SelectProc("x", 0) != 0 || rr.SelectProc("x", 5) != 1 {
+		t.Error("round robin wrong")
+	}
+	if (RoundRobinMapper{}).SelectProc("x", 3) != 0 {
+		t.Error("degenerate round robin should pin to 0")
+	}
+	if (FixedMapper{Proc: 2}).SelectProc("x", 9) != 2 {
+		t.Error("fixed mapper wrong")
+	}
+	fm := FuncMapper(func(name string, color int) int { return color * 2 })
+	if fm.SelectProc("x", 3) != 6 {
+		t.Error("func mapper wrong")
+	}
+}
+
+func TestConcurrentLaunchSafety(t *testing.T) {
+	// The runtime documents Launch as safe for concurrent use; hammer it
+	// from several goroutines against disjoint regions and one shared
+	// region.
+	rt := New()
+	shared := region.New("s", index.NewSpace("D", 8), "x")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		own := region.New("own", index.NewSpace("D", 16), "x")
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rt.Launch(TaskSpec{
+					Name: "w",
+					Refs: []region.Ref{
+						ref(own, "x", 0, 15, region.ReadWrite),
+						ref(shared, "x", 0, 7, region.ReadOnly),
+					},
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	rt.Drain()
+	if got := rt.Stats().Launched; got != 400 {
+		t.Fatalf("Launched = %d, want 400", got)
+	}
+	g := rt.Graph()
+	// Each goroutine's own-region chain must be fully ordered; readers of
+	// the shared region must not conflict with each other.
+	for _, n := range g.Nodes {
+		for i, d := range n.Deps {
+			if d >= n.ID {
+				t.Fatalf("non-topological dep %d -> %d", n.ID, d)
+			}
+			if n.DepBytes[i] < 0 {
+				t.Fatalf("negative bytes")
+			}
+		}
+	}
+}
+
+func TestFutureValueFromManyWaiters(t *testing.T) {
+	rt := New()
+	fut := rt.Launch(TaskSpec{Name: "slow", Run: func() float64 { return 3.5 }})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if fut.Value() != 3.5 {
+				t.Error("wrong value")
+			}
+		}()
+	}
+	wg.Wait()
+	rt.Drain()
+}
+
+func TestGraphSnapshotIsolation(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 4), "x")
+	rt.Launch(TaskSpec{Name: "a", Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadWrite)}})
+	rt.Drain()
+	g1 := rt.Graph()
+	rt.Launch(TaskSpec{Name: "b", Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadWrite)}})
+	rt.Drain()
+	if g1.Len() != 1 {
+		t.Fatalf("snapshot mutated: %d", g1.Len())
+	}
+	if rt.Graph().Len() != 2 {
+		t.Fatalf("graph = %d", rt.Graph().Len())
+	}
+}
+
+func TestPanickingTaskIsCaptured(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 4), "x")
+	bad := rt.Launch(TaskSpec{
+		Name: "explode",
+		Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadWrite)},
+		Run:  func() float64 { panic("kernel bug") },
+	})
+	// A dependent task must still run (on poisoned data).
+	after := rt.Launch(TaskSpec{
+		Name: "after",
+		Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadOnly)},
+		Run:  func() float64 { return 1 },
+	})
+	rt.Drain()
+	if !math.IsNaN(bad.Value()) {
+		t.Fatalf("failed task future = %g, want NaN", bad.Value())
+	}
+	if after.Value() != 1 {
+		t.Fatal("successor did not run")
+	}
+	err := rt.Err()
+	if err == nil || !strings.Contains(err.Error(), "explode") || !strings.Contains(err.Error(), "kernel bug") {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestErrKeepsFirstFailure(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 1), "x")
+	for i := 0; i < 3; i++ {
+		msg := fmt.Sprintf("boom-%d", i)
+		rt.Launch(TaskSpec{
+			Name: "f",
+			Refs: []region.Ref{ref(r, "x", 0, 0, region.ReadWrite)},
+			Run:  func() float64 { panic(msg) },
+		})
+	}
+	rt.Drain()
+	if err := rt.Err(); err == nil || !strings.Contains(err.Error(), "boom-0") {
+		t.Fatalf("Err = %v, want the first failure", err)
+	}
+}
+
+func TestErrNilOnSuccess(t *testing.T) {
+	rt := New()
+	rt.Launch(TaskSpec{Name: "ok", Run: func() float64 { return 1 }})
+	rt.Drain()
+	if err := rt.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestHistoryShrinkingBoundsReaderEntries(t *testing.T) {
+	// The Figure 10 pattern: long-lived whole-piece readers (dot
+	// partials) interleaved with writers that each touch one block.
+	// Shrinking must keep per-launch analysis work constant across
+	// iterations instead of scanning an ever-growing reader list.
+	rt := New()
+	r := region.New("y", index.NewSpace("R", 64), "x")
+	const iters = 60
+	for i := 0; i < iters; i++ {
+		// Four block writers...
+		for b := int64(0); b < 4; b++ {
+			rt.Launch(TaskSpec{Name: "w", Refs: []region.Ref{
+				ref(r, "x", b*16, b*16+15, region.WriteDiscard),
+			}})
+		}
+		// ...then a whole-piece reader.
+		rt.Launch(TaskSpec{Name: "read", Refs: []region.Ref{
+			ref(r, "x", 0, 63, region.ReadOnly),
+		}})
+	}
+	rt.Drain()
+	st := rt.Stats()
+	perLaunch := float64(st.AnalysisScans) / float64(st.Launched)
+	if perLaunch > 8 {
+		t.Fatalf("history grows: %.1f scans per launch", perLaunch)
+	}
+}
+
+func TestHistoryShrinkingRoutesBytesPerProducer(t *testing.T) {
+	// A reader spanning two writers' regions pulls each part from the
+	// writer that produced it — not the full overlap from both.
+	rt := New()
+	r := region.New("y", index.NewSpace("R", 10), "x")
+	w1 := rt.Launch(TaskSpec{Name: "w1", Refs: []region.Ref{ref(r, "x", 0, 9, region.ReadWrite)}})
+	_ = w1
+	rt.Launch(TaskSpec{Name: "w2", Refs: []region.Ref{ref(r, "x", 0, 4, region.ReadWrite)}})
+	rt.Launch(TaskSpec{Name: "read", Refs: []region.Ref{ref(r, "x", 0, 9, region.ReadOnly)}})
+	rt.Drain()
+	g := rt.Graph()
+	read := g.Nodes[2]
+	if len(read.Deps) != 2 {
+		t.Fatalf("reader deps = %v, want both writers", read.Deps)
+	}
+	bytesByDep := map[int64]int64{}
+	for i, d := range read.Deps {
+		bytesByDep[d] = read.DepBytes[i]
+	}
+	// w2 produced [0,4] (40 bytes); w1 still owns [5,9] (40 bytes).
+	if bytesByDep[0] != 40 || bytesByDep[1] != 40 {
+		t.Fatalf("byte routing wrong: %v", bytesByDep)
+	}
+}
+
+func TestIndexLaunch(t *testing.T) {
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 16), "x")
+	data := r.Field("x")
+	futs := rt.IndexLaunch(4, func(c int) TaskSpec {
+		lo := int64(c * 4)
+		return TaskSpec{
+			Name: "fill", Proc: c,
+			Refs: []region.Ref{ref(r, "x", lo, lo+3, region.WriteDiscard)},
+			Run: func() float64 {
+				for i := lo; i < lo+4; i++ {
+					data[i] = float64(c)
+				}
+				return float64(c)
+			},
+		}
+	})
+	if len(futs) != 4 {
+		t.Fatalf("futures = %d", len(futs))
+	}
+	for c, f := range futs {
+		if f.Value() != float64(c) {
+			t.Fatalf("future %d = %g", c, f.Value())
+		}
+	}
+	rt.Drain()
+	// Disjoint point tasks: no dependence edges.
+	for _, n := range rt.Graph().Nodes {
+		if len(n.Deps) != 0 {
+			t.Fatalf("point tasks over a disjoint partition must be independent: %+v", n)
+		}
+	}
+	if data[0] != 0 || data[15] != 3 {
+		t.Fatal("point tasks did not run")
+	}
+}
