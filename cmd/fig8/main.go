@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"kdrsolvers/internal/figures"
 	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sparse"
 )
 
 func main() {
@@ -22,7 +24,12 @@ func main() {
 	nodes := flag.Int("nodes", 16, "simulated node count")
 	warm := flag.Int("warmup", 5, "warmup iterations")
 	it := flag.Int("it", 20, "timed iterations")
+	profile := flag.Bool("profile", false, "print a per-task-name breakdown of the largest CG run's simulated schedule")
+	traceOut := flag.String("trace-out", "", "write that schedule as a Chrome trace (implies -profile)")
 	flag.Parse()
+	if *traceOut != "" {
+		*profile = true
+	}
 
 	sizes := figures.QuickSizes()
 	if *paper {
@@ -41,5 +48,28 @@ func main() {
 		fmt.Printf("\ngeomean improvement over the 3 largest sizes per subplot:\n")
 		fmt.Printf("  vs PETSc:    %.1f%%  (paper reports 5.4%%)\n", 100*s.VsPETSc)
 		fmt.Printf("  vs Trilinos: %.1f%%  (paper reports 9.6%%)\n", 100*s.VsTrilinos)
+	}
+
+	if *profile {
+		n := sizes[len(sizes)-1]
+		fmt.Printf("\nprofile of the simulated schedule: %d nodes, cg, 2D 5-point, n=%d, %d iterations\n",
+			*nodes, n, *it)
+		sc := figures.CaptureSchedule(m, sparse.Stencil2D5, n, "cg", *it,
+			figures.KDROptions{Tracing: true})
+		fmt.Print(sc.Report)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = sc.WriteTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fig8:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote Chrome trace: %s (%d spans)\n", *traceOut, len(sc.Result.Spans))
+		}
 	}
 }

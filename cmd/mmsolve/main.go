@@ -7,6 +7,11 @@
 // The right-hand side defaults to A·1 (so the exact solution is the
 // all-ones vector, making correctness easy to eyeball); -rhs ones uses
 // b = 1 instead. For SPD matrices try -solver cg or -solver pcg (Jacobi).
+//
+// -profile records wall-clock spans for every executed task and prints a
+// per-iteration telemetry line plus a per-task-name breakdown with the
+// schedule's critical path; -trace-out additionally writes the spans as a
+// Chrome trace (load it in Perfetto or chrome://tracing).
 package main
 
 import (
@@ -19,9 +24,11 @@ import (
 	"kdrsolvers/internal/core"
 	"kdrsolvers/internal/index"
 	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/obs"
 	"kdrsolvers/internal/precond"
 	"kdrsolvers/internal/solvers"
 	"kdrsolvers/internal/sparse"
+	"kdrsolvers/internal/taskrt"
 )
 
 func main() {
@@ -30,10 +37,15 @@ func main() {
 	maxIter := flag.Int("maxiter", 10000, "iteration limit")
 	pieces := flag.Int("pieces", 8, "vector pieces")
 	rhs := flag.String("rhs", "Aones", "right-hand side: 'Aones' (b = A·1) or 'ones' (b = 1)")
+	profile := flag.Bool("profile", false, "record task timings; print per-iteration telemetry and a per-task breakdown")
+	traceOut := flag.String("trace-out", "", "write recorded task spans as a Chrome trace to this file (implies -profile)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mmsolve [flags] matrix.mtx")
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		*profile = true
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -82,10 +94,25 @@ func main() {
 	}
 	p.Finalize()
 
+	var rec *obs.Recorder
+	if *profile {
+		rec = p.EnableProfiling()
+	}
+	rt := p.Runtime()
+
 	start := time.Now()
-	res := solvers.Solve(solvers.New(*solverName, p), *tol, *maxIter)
+	s := solvers.New(*solverName, p)
+	res := solve(s, rt, *tol, *maxIter, *profile)
 	p.Drain()
 	elapsed := time.Since(start)
+
+	if err := rt.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmsolve: solve failed:", err)
+		if st := rt.Stats(); st.Failed > 0 {
+			fmt.Fprintf(os.Stderr, "mmsolve: %d task(s) failed\n", st.Failed)
+		}
+		os.Exit(1)
+	}
 
 	fmt.Printf("solver: %s\n", *solverName)
 	fmt.Printf("converged: %v in %d iterations, residual %.3g\n",
@@ -101,7 +128,64 @@ func main() {
 		}
 		fmt.Printf("max |x - 1| (exact solution is all ones): %.3g\n", maxErr)
 	}
+
+	if *profile {
+		spans := rec.Spans()
+		rep := obs.Analyze(spans, rt.Graph().DepLists())
+		fmt.Println()
+		fmt.Print(rep)
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, spans); err != nil {
+				fmt.Fprintln(os.Stderr, "mmsolve:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote Chrome trace: %s (%d spans)\n", *traceOut, len(spans))
+		}
+	}
 	if !res.Converged {
 		os.Exit(1)
 	}
+}
+
+// solve mirrors solvers.Solve — synchronize on the convergence measure
+// each iteration — but emits a telemetry line per iteration when
+// profiling: residual, cumulative tasks launched and dependence edges,
+// and the graph's critical-path compute cost.
+func solve(s solvers.Solver, rt *taskrt.Runtime, tol float64, maxIter int, telemetry bool) solvers.Result {
+	report := func(iter int, res float64) {
+		st := rt.Stats()
+		g := rt.Graph()
+		fmt.Printf("iter %4d  residual %.6e  tasks %6d  deps %6d  critpath %.3gs\n",
+			iter, res, st.Launched, st.DepEdges, g.CriticalPathCost())
+	}
+	res := math.Sqrt(s.ConvergenceMeasure().Value())
+	if telemetry {
+		report(0, res)
+	}
+	if res <= tol {
+		return solvers.Result{Iterations: 0, Residual: res, Converged: true}
+	}
+	for i := 1; i <= maxIter; i++ {
+		s.Step()
+		res = math.Sqrt(s.ConvergenceMeasure().Value())
+		if telemetry {
+			report(i, res)
+		}
+		if res <= tol || math.IsNaN(res) {
+			return solvers.Result{Iterations: i, Residual: res, Converged: res <= tol}
+		}
+	}
+	return solvers.Result{Iterations: maxIter, Residual: res, Converged: false}
+}
+
+func writeTrace(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"kdrsolvers/internal/figures"
+	"kdrsolvers/internal/machine"
 	"kdrsolvers/internal/sparse"
 )
 
@@ -27,7 +28,12 @@ func main() {
 	warm := flag.Int("warmup", 3, "warmup iterations")
 	it := flag.Int("it", 10, "timed iterations")
 	weak := flag.Bool("weak", false, "weak scaling: treat -n as unknowns per GPU")
+	profile := flag.Bool("profile", false, "print a per-task-name breakdown of the simulated schedule at -max nodes")
+	traceOut := flag.String("trace-out", "", "write the simulated schedule at -max nodes as a Chrome trace (implies -profile)")
 	flag.Parse()
+	if *traceOut != "" {
+		*profile = true
+	}
 
 	kinds := map[int]sparse.StencilKind{
 		1: sparse.Stencil1D3, 2: sparse.Stencil2D5,
@@ -53,5 +59,31 @@ func main() {
 		}
 		fmt.Printf("%d,%d,%.6g,%s,%.6g,%.3f\n",
 			r.Nodes, r.GPUs, r.KDR, petsc, r.Trilinos, r.KDREfficiency)
+	}
+
+	if *profile {
+		pn := *n
+		if *weak {
+			pn *= int64(machine.Lassen(*maxNodes).NumProcs())
+		}
+		fmt.Printf("\nprofile of the simulated schedule: %d nodes, %s, n=%d, %d iterations\n",
+			*maxNodes, *solver, pn, *it)
+		sc := figures.CaptureSchedule(machine.Lassen(*maxNodes), kind, pn, *solver, *it,
+			figures.KDROptions{Tracing: true})
+		fmt.Print(sc.Report)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = sc.WriteTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scaling:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote Chrome trace: %s (%d spans)\n", *traceOut, len(sc.Result.Spans))
+		}
 	}
 }

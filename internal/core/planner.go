@@ -6,6 +6,7 @@ import (
 	"kdrsolvers/internal/dpart"
 	"kdrsolvers/internal/index"
 	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/obs"
 	"kdrsolvers/internal/region"
 	"kdrsolvers/internal/sparse"
 	"kdrsolvers/internal/taskrt"
@@ -125,6 +126,23 @@ func NewPlanner(cfg Config) *Planner {
 // Runtime returns the underlying task runtime (for Drain, Graph, Stats,
 // and trace control).
 func (p *Planner) Runtime() *taskrt.Runtime { return p.rt }
+
+// BeginPhase tags every task launched from here on with a solver-phase
+// label ("cg.step", "gmres.arnoldi", ...). Labels flow into the recorded
+// graph and any attached obs.Recorder, giving profiles and traces a
+// solver-level grouping on top of task names. An empty label clears the
+// tag.
+func (p *Planner) BeginPhase(label string) { p.rt.SetPhase(label) }
+
+// EnableProfiling attaches a fresh observability recorder to the
+// runtime and returns it: from now on every executed task records real
+// wall-clock timing (launch, start, end, worker) alongside the
+// simulated costs already in the graph.
+func (p *Planner) EnableProfiling() *obs.Recorder {
+	rec := obs.NewRecorder()
+	p.rt.SetRecorder(rec)
+	return rec
+}
 
 // Machine returns the machine model used for task costs.
 func (p *Planner) Machine() machine.Machine { return p.mach }

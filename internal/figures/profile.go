@@ -1,0 +1,63 @@
+package figures
+
+import (
+	"io"
+
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/obs"
+	"kdrsolvers/internal/sim"
+	"kdrsolvers/internal/solvers"
+	"kdrsolvers/internal/sparse"
+	"kdrsolvers/internal/taskrt"
+)
+
+// Schedule is a profiled simulated run: the recorded task graph, the
+// simulator's schedule for it (with per-task spans), and the critical-path
+// analysis of that schedule. It backs the -profile/-trace-out flags of the
+// figure runners, where the "timeline" is simulated Lassen time rather
+// than local wall clock.
+type Schedule struct {
+	Graph  taskrt.Graph
+	Result sim.Result
+	Report obs.Report
+}
+
+// CaptureSchedule builds the same virtual stencil problem the figure
+// sweeps measure, runs iters solver iterations, and simulates the
+// recorded graph with span recording on. The returned Schedule can be
+// rendered with Report.String() or exported via WriteTrace.
+func CaptureSchedule(m machine.Machine, kind sparse.StencilKind, n int64, solverName string,
+	iters int, opt KDROptions) Schedule {
+	vp := opt.VP
+	if vp == 0 {
+		vp = m.NumProcs()
+	}
+	p := stencilPlanner(m, kind, n, vp)
+	s := solvers.New(solverName, p)
+	step := stepper(p.Runtime(), s, solverName, opt)
+	for i := 0; i < iters; i++ {
+		step(i)
+	}
+	p.Drain()
+	g := p.Runtime().Graph()
+	simOpts := sim.Options{
+		TaskOverhead:   KDRTaskOverhead,
+		TracedOverhead: KDRTracedOverhead,
+		RecordSpans:    true,
+	}
+	simulate := sim.Simulate
+	if opt.BSP {
+		simulate = sim.SimulateBSP
+	}
+	res := simulate(g, p.Machine(), simOpts)
+	return Schedule{
+		Graph:  g,
+		Result: res,
+		Report: obs.Analyze(res.Spans, g.DepLists()),
+	}
+}
+
+// WriteTrace exports the simulated schedule as a Chrome trace.
+func (sc Schedule) WriteTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, sc.Result.Spans)
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome-trace export: the JSON object format understood by
+// chrome://tracing and by Perfetto's legacy importer
+// (https://ui.perfetto.dev — drag the file in). Each span becomes one
+// complete ("X") duration event on the row of its executor; timestamps
+// are microseconds.
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes spans as Chrome-trace JSON. One row (thread)
+// per worker; each event carries the task's phase label, mapped
+// processor, and queue latency in its args for inspection in the UI.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	const usec = 1e6
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	workers := map[int]bool{}
+	for _, s := range spans {
+		workers[s.Worker] = true
+		cat := s.Phase
+		if cat == "" {
+			cat = "task"
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: s.Name, Cat: cat, Ph: "X",
+			Ts: s.Start * usec, Dur: s.Duration() * usec,
+			Pid: 0, Tid: s.Worker,
+			Args: map[string]any{
+				"task":     s.ID,
+				"phase":    s.Phase,
+				"proc":     s.Proc,
+				"queue_us": s.QueueLatency() * usec,
+			},
+		})
+	}
+	// Name the process and each worker row.
+	ids := make([]int, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	meta := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "kdrsolvers"},
+	}}
+	for _, id := range ids {
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", id)},
+		})
+	}
+	tf.TraceEvents = append(meta, tf.TraceEvents...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

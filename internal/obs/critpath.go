@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NameStat aggregates the spans of one task name (or phase label).
+type NameStat struct {
+	Name  string
+	Count int
+	// Total, Mean, Max are execution-time aggregates in seconds.
+	Total, Mean, Max float64
+	// Queue is the total queue latency in seconds.
+	Queue float64
+	// CritCount and CritTotal cover only the spans on the critical path.
+	CritCount int
+	CritTotal float64
+}
+
+// WorkerStat is one executor's occupancy over the recorded window.
+type WorkerStat struct {
+	Worker int
+	// Busy is total execution time in seconds; Tasks the span count.
+	Busy  float64
+	Tasks int
+	// Utilization is Busy divided by the observed wall time.
+	Utilization float64
+}
+
+// Report is a critical-path analysis of one recorded execution.
+type Report struct {
+	// Tasks is the number of analyzed spans.
+	Tasks int
+	// WallTime is the observed end-to-end time: max End − min Launch.
+	WallTime float64
+	// TotalBusy is the sum of all execution times (serial-equivalent).
+	TotalBusy float64
+	// CriticalPathTime is the longest duration-weighted dependence path.
+	CriticalPathTime float64
+	// CriticalPath lists the task IDs along that path, in launch order.
+	CriticalPath []int64
+	// Slack[i] is how much task i could stretch without lengthening the
+	// critical path (CPM slack, seconds), indexed by task ID.
+	Slack []float64
+	// ByName and ByPhase aggregate spans per task name / phase label,
+	// sorted by Total descending.
+	ByName, ByPhase []NameStat
+	// Workers reports per-executor occupancy, sorted by worker ID.
+	Workers []WorkerStat
+}
+
+// Analyze runs critical-path analysis (CPM) over recorded spans using
+// the dependence lists of the recorded graph: deps[id] are the task IDs
+// that must finish before task id starts. Edge weights are the measured
+// execution times, so the result reflects where wall-clock time actually
+// went rather than the modeled costs. Spans with IDs outside deps, or
+// graph nodes that never executed, contribute zero duration.
+func Analyze(spans []Span, deps [][]int64) Report {
+	n := len(deps)
+	byID := make([]*Span, n)
+	rep := Report{Tasks: len(spans)}
+	first, last := 0.0, 0.0
+	for i := range spans {
+		s := &spans[i]
+		if s.ID >= 0 && s.ID < int64(n) {
+			byID[s.ID] = s
+		}
+		if i == 0 || s.Launch < first {
+			first = s.Launch
+		}
+		if s.End > last {
+			last = s.End
+		}
+		rep.TotalBusy += s.Duration()
+	}
+	if len(spans) > 0 {
+		rep.WallTime = last - first
+	}
+
+	// Forward pass: earliest start/finish with measured durations.
+	dur := make([]float64, n)
+	for id, s := range byID {
+		if s != nil {
+			dur[id] = s.Duration()
+		}
+	}
+	ef := make([]float64, n) // earliest finish
+	var best int64 = -1
+	for i := 0; i < n; i++ {
+		var es float64
+		for _, d := range deps[i] {
+			if ef[d] > es {
+				es = ef[d]
+			}
+		}
+		ef[i] = es + dur[i]
+		if best < 0 || ef[i] > ef[best] {
+			best = int64(i)
+		}
+	}
+	if best >= 0 {
+		rep.CriticalPathTime = ef[best]
+	}
+
+	// Backward pass: latest finish, slack = lf − ef.
+	lf := make([]float64, n)
+	for i := range lf {
+		lf[i] = rep.CriticalPathTime
+	}
+	for i := n - 1; i >= 0; i-- {
+		ls := lf[i] - dur[i]
+		for _, d := range deps[i] {
+			if ls < lf[d] {
+				lf[d] = ls
+			}
+		}
+	}
+	rep.Slack = make([]float64, n)
+	for i := range rep.Slack {
+		rep.Slack[i] = lf[i] - ef[i]
+	}
+
+	// Walk the critical path back from the last-finishing task through
+	// the dependence whose finish gated each start.
+	onPath := make([]bool, n)
+	for at := best; at >= 0; {
+		onPath[at] = true
+		rep.CriticalPath = append(rep.CriticalPath, at)
+		// The gating dependence is the one whose finish equals this
+		// task's earliest start (the max over ef of its deps).
+		var next int64 = -1
+		var gate float64
+		for _, d := range deps[at] {
+			if ef[d] > gate {
+				gate = ef[d]
+			}
+		}
+		for _, d := range deps[at] {
+			if ef[d] == gate && (next < 0 || d < next) {
+				next = d
+			}
+		}
+		if next < 0 || gate == 0 {
+			break
+		}
+		at = next
+	}
+	for i, j := 0, len(rep.CriticalPath)-1; i < j; i, j = i+1, j-1 {
+		rep.CriticalPath[i], rep.CriticalPath[j] = rep.CriticalPath[j], rep.CriticalPath[i]
+	}
+
+	// Aggregates.
+	names := map[string]*NameStat{}
+	phases := map[string]*NameStat{}
+	workers := map[int]*WorkerStat{}
+	accum := func(m map[string]*NameStat, key string, s *Span, crit bool) {
+		st := m[key]
+		if st == nil {
+			st = &NameStat{Name: key}
+			m[key] = st
+		}
+		d := s.Duration()
+		st.Count++
+		st.Total += d
+		if d > st.Max {
+			st.Max = d
+		}
+		st.Queue += s.QueueLatency()
+		if crit {
+			st.CritCount++
+			st.CritTotal += d
+		}
+	}
+	for i := range spans {
+		s := &spans[i]
+		crit := s.ID >= 0 && s.ID < int64(n) && onPath[s.ID]
+		accum(names, s.Name, s, crit)
+		if s.Phase != "" {
+			accum(phases, s.Phase, s, crit)
+		}
+		w := workers[s.Worker]
+		if w == nil {
+			w = &WorkerStat{Worker: s.Worker}
+			workers[s.Worker] = w
+		}
+		w.Busy += s.Duration()
+		w.Tasks++
+	}
+	rep.ByName = sortStats(names)
+	rep.ByPhase = sortStats(phases)
+	for _, w := range workers {
+		if rep.WallTime > 0 {
+			w.Utilization = w.Busy / rep.WallTime
+		}
+		rep.Workers = append(rep.Workers, *w)
+	}
+	sort.Slice(rep.Workers, func(i, j int) bool { return rep.Workers[i].Worker < rep.Workers[j].Worker })
+	return rep
+}
+
+func sortStats(m map[string]*NameStat) []NameStat {
+	out := make([]NameStat, 0, len(m))
+	for _, st := range m {
+		st.Mean = st.Total / float64(st.Count)
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// String formats the report as the -profile breakdown: per-task-name
+// timing, the critical-path summary, and worker occupancy.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks: %d, wall %.4gs, busy %.4gs", r.Tasks, r.WallTime, r.TotalBusy)
+	if len(r.Workers) > 0 {
+		fmt.Fprintf(&b, " on %d workers", len(r.Workers))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "critical path: %.4gs across %d tasks", r.CriticalPathTime, len(r.CriticalPath))
+	if r.WallTime > 0 {
+		fmt.Fprintf(&b, " (%.0f%% of wall)", 100*r.CriticalPathTime/r.WallTime)
+	}
+	b.WriteByte('\n')
+	writeStats := func(title string, stats []NameStat) {
+		if len(stats) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%-22s %8s %7s %10s %10s %10s %14s\n",
+			title, "total", "count", "mean", "max", "queue", "on-crit-path")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "  %-20s %8.3gs %7d %9.3gs %9.3gs %9.3gs %7.3gs (%d)\n",
+				st.Name, st.Total, st.Count, st.Mean, st.Max, st.Queue, st.CritTotal, st.CritCount)
+		}
+	}
+	writeStats("by task name", r.ByName)
+	writeStats("by phase", r.ByPhase)
+	if len(r.Workers) > 0 {
+		b.WriteString("worker occupancy:")
+		for _, w := range r.Workers {
+			fmt.Fprintf(&b, " w%d %.0f%%", w.Worker, 100*w.Utilization)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

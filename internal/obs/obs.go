@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one executed task: what it was, where it ran, and when. Launch
+// is when the task was submitted, Start when a worker picked it up, End
+// when it finished; Start−Launch is the queue latency (dependence wait
+// plus scheduling delay), End−Start the execution time.
+type Span struct {
+	// ID is the task's graph ID (dense, matching taskrt.Node.ID).
+	ID int64
+	// Name labels the task kind ("matmul", "dot.partial", ...).
+	Name string
+	// Phase is the solver-phase label active at launch ("cg.step", ...).
+	Phase string
+	// Proc is the simulated processor the mapper assigned.
+	Proc int
+	// Worker identifies the executor: the goroutine-pool slot for real
+	// spans, the simulated processor for simulated spans.
+	Worker int
+	// Launch, Start, End are seconds since the recorder's epoch.
+	Launch, Start, End float64
+}
+
+// Duration returns the span's execution time in seconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// QueueLatency returns the time the task spent between launch and
+// execution in seconds.
+func (s Span) QueueLatency() float64 { return s.Start - s.Launch }
+
+// Failure records one failed (panicked) task for telemetry.
+type Failure struct {
+	// Task is the graph ID of the failed task.
+	Task int64
+	// Name and Phase identify what failed.
+	Name, Phase string
+	// Msg is the recovered panic value, stringified.
+	Msg string
+}
+
+// Recorder collects spans and failures from a concurrent execution. All
+// methods are safe for concurrent use; recording is one short critical
+// section per task.
+type Recorder struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	failures []Failure
+}
+
+// NewRecorder returns an empty recorder whose epoch is now.
+func NewRecorder() *Recorder {
+	return &Recorder{epoch: time.Now()}
+}
+
+// Now returns seconds elapsed since the recorder's epoch.
+func (r *Recorder) Now() float64 {
+	return time.Since(r.epoch).Seconds()
+}
+
+// Record appends one completed span.
+func (r *Recorder) Record(s Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// RecordFailure appends one task failure.
+func (r *Recorder) RecordFailure(f Failure) {
+	r.mu.Lock()
+	r.failures = append(r.failures, f)
+	r.mu.Unlock()
+}
+
+// Spans returns a snapshot of the recorded spans, sorted by task ID.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Failures returns a snapshot of the recorded failures, in record order.
+func (r *Recorder) Failures() []Failure {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Failure(nil), r.failures...)
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Counter is a lightweight atomic event counter.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.n.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Timer accumulates elapsed wall time across concurrent sections.
+type Timer struct {
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Observe adds one completed section of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	t.ns.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Time runs fn and observes its duration.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Count returns the number of observed sections.
+func (t *Timer) Count() int64 { return t.count.Load() }

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kdrsolvers/internal/obs"
+)
+
+// CompareRow relates one task name's measured time on the local runtime
+// to the machine model's prediction for the same graph.
+type CompareRow struct {
+	Name      string
+	RealCount int     // tasks observed on the real runtime
+	RealTotal float64 // measured busy seconds
+	SimCount  int     // tasks in the simulated schedule (0 if spans were not recorded)
+	SimTotal  float64 // simulated busy seconds (overheads included)
+	Ratio     float64 // SimTotal / RealTotal; 0 when RealTotal is 0
+}
+
+// Comparison is a per-task-name real-vs-simulated report. The absolute
+// numbers are not expected to agree — the model is a 4-GPU Lassen node,
+// not this host — but the relative weight of each task name should track,
+// and large mismatches flag either a miscalibrated cost model or a task
+// whose local implementation is unrepresentative.
+type Comparison struct {
+	Rows        []CompareRow
+	RealWall    float64 // measured wall time spanned by the real spans
+	RealBusy    float64 // sum of measured task durations
+	SimMakespan float64 // simulated end-to-end time
+	SimBusy     float64 // sum of simulated task costs
+}
+
+// Compare aggregates measured spans (from an obs.Recorder attached to the
+// runtime) against a simulation of the same recorded graph. Task names
+// present on only one side still get a row, with the other side zero.
+func Compare(real []obs.Span, simRes Result) Comparison {
+	type agg struct {
+		realCount int
+		realTotal float64
+		simCount  int
+		simTotal  float64
+	}
+	byName := make(map[string]*agg)
+	get := func(name string) *agg {
+		a := byName[name]
+		if a == nil {
+			a = &agg{}
+			byName[name] = a
+		}
+		return a
+	}
+
+	var c Comparison
+	var minLaunch, maxEnd float64
+	for i, s := range real {
+		a := get(s.Name)
+		a.realCount++
+		a.realTotal += s.Duration()
+		c.RealBusy += s.Duration()
+		if i == 0 || s.Launch < minLaunch {
+			minLaunch = s.Launch
+		}
+		if s.End > maxEnd {
+			maxEnd = s.End
+		}
+	}
+	if len(real) > 0 {
+		c.RealWall = maxEnd - minLaunch
+	}
+
+	for name, busy := range simRes.BusyByName {
+		get(name).simTotal = busy
+		c.SimBusy += busy
+	}
+	for _, s := range simRes.Spans {
+		get(s.Name).simCount++
+	}
+	c.SimMakespan = simRes.Makespan
+
+	for name, a := range byName {
+		row := CompareRow{
+			Name:      name,
+			RealCount: a.realCount,
+			RealTotal: a.realTotal,
+			SimCount:  a.simCount,
+			SimTotal:  a.simTotal,
+		}
+		if a.realTotal > 0 {
+			row.Ratio = a.simTotal / a.realTotal
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	sort.Slice(c.Rows, func(i, j int) bool {
+		if c.Rows[i].RealTotal != c.Rows[j].RealTotal {
+			return c.Rows[i].RealTotal > c.Rows[j].RealTotal
+		}
+		return c.Rows[i].Name < c.Rows[j].Name
+	})
+	return c
+}
+
+// String renders the comparison as a fixed-width table.
+func (c Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "real wall %.6fs (busy %.6fs)  |  simulated makespan %.6fs (busy %.6fs)\n",
+		c.RealWall, c.RealBusy, c.SimMakespan, c.SimBusy)
+	fmt.Fprintf(&b, "%-24s %8s %12s %8s %12s %8s\n",
+		"task", "real#", "real(s)", "sim#", "sim(s)", "sim/real")
+	for _, r := range c.Rows {
+		ratio := "-"
+		if r.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", r.Ratio)
+		}
+		fmt.Fprintf(&b, "%-24s %8d %12.6f %8d %12.6f %8s\n",
+			r.Name, r.RealCount, r.RealTotal, r.SimCount, r.SimTotal, ratio)
+	}
+	return b.String()
+}

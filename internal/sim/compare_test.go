@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"kdrsolvers/internal/obs"
+	"kdrsolvers/internal/taskrt"
+)
+
+func TestSimulateRecordSpans(t *testing.T) {
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "a", Phase: "init", Proc: 0, Cost: 1})
+	b := g.Add(taskrt.Node{Name: "b", Phase: "step", Proc: 0, Cost: 2, Deps: []int64{a}, DepBytes: []int64{0}})
+	g.Add(taskrt.Node{Name: "c", Phase: "step", Proc: 0, Cost: 3, Deps: []int64{b}, DepBytes: []int64{0}})
+
+	res := Simulate(g, testMachine(), Options{RecordSpans: true})
+	if len(res.Spans) != 3 {
+		t.Fatalf("len(Spans) = %d, want 3", len(res.Spans))
+	}
+	// The serial chain runs back to back: [0,1), [1,3), [3,6).
+	wantStart := []float64{0, 1, 3}
+	wantEnd := []float64{1, 3, 6}
+	for i, s := range res.Spans {
+		if s.ID != int64(i) {
+			t.Fatalf("span %d has ID %d", i, s.ID)
+		}
+		if !approx(s.Start, wantStart[i]) || !approx(s.End, wantEnd[i]) {
+			t.Fatalf("span %d = [%g, %g), want [%g, %g)", i, s.Start, s.End, wantStart[i], wantEnd[i])
+		}
+		if s.Phase != g.Nodes[i].Phase {
+			t.Fatalf("span %d phase %q, want %q", i, s.Phase, g.Nodes[i].Phase)
+		}
+		// Chain with same-proc zero-byte edges: data arrives the moment the
+		// producer finishes, so nothing waits in a queue.
+		if !approx(s.QueueLatency(), 0) {
+			t.Fatalf("span %d queue latency %g, want 0", i, s.QueueLatency())
+		}
+	}
+
+	// The simulated spans must feed the critical-path analyzer directly.
+	rep := obs.Analyze(res.Spans, g.DepLists())
+	if !approx(rep.CriticalPathTime, 6) {
+		t.Fatalf("CriticalPathTime = %g, want 6", rep.CriticalPathTime)
+	}
+
+	// Without the option, no spans are allocated.
+	res = Simulate(g, testMachine(), Options{})
+	if res.Spans != nil {
+		t.Fatalf("Spans recorded without RecordSpans: %v", res.Spans)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "axpy", Proc: 0, Cost: 1})
+	g.Add(taskrt.Node{Name: "dot", Proc: 0, Cost: 2, Deps: []int64{a}, DepBytes: []int64{0}})
+	simRes := Simulate(g, testMachine(), Options{RecordSpans: true})
+
+	real := []obs.Span{
+		{ID: 0, Name: "axpy", Launch: 0, Start: 0, End: 0.5},
+		{ID: 1, Name: "dot", Launch: 0.5, Start: 0.5, End: 1.5},
+		{ID: 2, Name: "axpy", Launch: 1.5, Start: 1.5, End: 2.0},
+	}
+	c := Compare(real, simRes)
+
+	if !approx(c.RealWall, 2.0) || !approx(c.RealBusy, 2.0) {
+		t.Fatalf("RealWall = %g, RealBusy = %g, want 2, 2", c.RealWall, c.RealBusy)
+	}
+	if !approx(c.SimMakespan, 3) || !approx(c.SimBusy, 3) {
+		t.Fatalf("SimMakespan = %g, SimBusy = %g, want 3, 3", c.SimMakespan, c.SimBusy)
+	}
+	if len(c.Rows) != 2 {
+		t.Fatalf("Rows = %+v, want 2 rows", c.Rows)
+	}
+	// Both names have a real total of 1.0 (axpy: 0.5+0.5, dot: 1.0), so
+	// the descending-total sort falls through to the name tiebreak.
+	r0, r1 := c.Rows[0], c.Rows[1]
+	if r0.Name != "axpy" || r1.Name != "dot" {
+		t.Fatalf("row order %q, %q, want axpy, dot", r0.Name, r1.Name)
+	}
+	if r0.RealCount != 2 || !approx(r0.RealTotal, 1.0) || r0.SimCount != 1 || !approx(r0.SimTotal, 1) {
+		t.Fatalf("axpy row = %+v", r0)
+	}
+	if r1.RealCount != 1 || !approx(r1.RealTotal, 1.0) || r1.SimCount != 1 || !approx(r1.SimTotal, 2) {
+		t.Fatalf("dot row = %+v", r1)
+	}
+	if !approx(r0.Ratio, 1.0) || !approx(r1.Ratio, 2.0) {
+		t.Fatalf("ratios = %g, %g, want 1, 2", r0.Ratio, r1.Ratio)
+	}
+
+	out := c.String()
+	for _, want := range []string{"axpy", "dot", "sim/real"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareOneSidedNames(t *testing.T) {
+	var g taskrt.Graph
+	g.Add(taskrt.Node{Name: "only-sim", Proc: 0, Cost: 1})
+	simRes := Simulate(g, testMachine(), Options{})
+	real := []obs.Span{{ID: 0, Name: "only-real", Start: 0, End: 1}}
+	c := Compare(real, simRes)
+	if len(c.Rows) != 2 {
+		t.Fatalf("Rows = %+v, want 2 rows", c.Rows)
+	}
+	for _, r := range c.Rows {
+		switch r.Name {
+		case "only-real":
+			if r.SimTotal != 0 || r.RealCount != 1 {
+				t.Fatalf("only-real row = %+v", r)
+			}
+		case "only-sim":
+			if r.RealTotal != 0 || r.Ratio != 0 {
+				t.Fatalf("only-sim row = %+v", r)
+			}
+		default:
+			t.Fatalf("unexpected row %+v", r)
+		}
+	}
+}

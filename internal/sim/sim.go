@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/obs"
 	"kdrsolvers/internal/taskrt"
 )
 
@@ -36,6 +37,12 @@ type Options struct {
 	// NodeSlowdown optionally scales compute costs per node (≥ 1), the
 	// Figure 10 background-load mechanism. nil means no slowdown.
 	NodeSlowdown []float64
+
+	// RecordSpans fills Result.Spans with one obs.Span per task on the
+	// simulated timeline (time zero = schedule start), so the critical-path
+	// analyzer and Chrome-trace exporter work on simulated schedules
+	// exactly as on real ones.
+	RecordSpans bool
 
 	// barriers switches the scheduler to bulk-synchronous mode; set by
 	// SimulateBSP.
@@ -62,6 +69,11 @@ type Result struct {
 	// BusyByName attributes total compute time (including overheads) to
 	// task names — the simulator's profile view.
 	BusyByName map[string]float64
+	// Spans is the simulated schedule as observability spans, indexed by
+	// task ID; only filled when Options.RecordSpans is set. Launch is the
+	// time the task's last input arrived, so QueueLatency is the time
+	// spent waiting for a free processor.
+	Spans []obs.Span
 }
 
 // slowdown returns the compute multiplier for a node.
@@ -91,6 +103,9 @@ func Simulate(g taskrt.Graph, m machine.Machine, opt Options) Result {
 		ProcBusy:   make([]float64, nprocs),
 		NodeBusy:   make([]float64, m.Nodes),
 		BusyByName: make(map[string]float64),
+	}
+	if opt.RecordSpans {
+		res.Spans = make([]obs.Span, g.Len())
 	}
 
 	// Per-task state.
@@ -190,6 +205,13 @@ func Simulate(g taskrt.Graph, m machine.Machine, opt Options) Result {
 		res.BusyByName[n.Name] += compute
 		if fin > res.Makespan {
 			res.Makespan = fin
+		}
+		if opt.RecordSpans {
+			res.Spans[i] = obs.Span{
+				ID: int64(i), Name: n.Name, Phase: n.Phase,
+				Proc: proc, Worker: proc,
+				Launch: st[i].ready, Start: now, End: fin,
+			}
 		}
 		push(fin, i, 0)
 	}

@@ -28,6 +28,7 @@ func NewBiCG(p *core.Planner) *BiCG {
 		q:  p.AllocateWorkspace(core.RhsShape),
 		qt: p.AllocateWorkspace(core.RhsShape),
 	}
+	p.BeginPhase("bicg.init")
 	residualInit(p, s.r)
 	p.Copy(s.rt, s.r) // shadow residual r̃₀ = r₀
 	p.Copy(s.pv, s.r)
@@ -46,6 +47,7 @@ func (s *BiCG) ConvergenceMeasure() *core.Scalar { return s.res }
 // Step implements Solver: one BiCG iteration, entirely deferred.
 func (s *BiCG) Step() {
 	p := s.p
+	p.BeginPhase("bicg.step")
 	p.Matmul(s.q, s.pv)   // q = A p
 	p.MatmulT(s.qt, s.pt) // q̃ = Aᵀ p̃
 	alpha := p.Div(s.rho, p.Dot(s.pt, s.q))

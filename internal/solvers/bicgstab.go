@@ -25,6 +25,7 @@ func NewBiCGStab(p *core.Planner) *BiCGStab {
 		v:    p.AllocateWorkspace(core.RhsShape),
 		t:    p.AllocateWorkspace(core.RhsShape),
 	}
+	p.BeginPhase("bicgstab.init")
 	residualInit(p, s.r)
 	p.Copy(s.rhat, s.r) // r̂₀ fixed shadow residual
 	s.rho = p.Constant(1)
@@ -43,6 +44,7 @@ func (s *BiCGStab) ConvergenceMeasure() *core.Scalar { return s.res }
 // Step implements Solver: one BiCGStab iteration, entirely deferred.
 func (s *BiCGStab) Step() {
 	p := s.p
+	p.BeginPhase("bicgstab.step")
 	rho := p.Dot(s.rhat, s.r)
 	beta := p.Mul(p.Div(rho, s.rho), p.Div(s.alpha, s.omega))
 	// p = r + β(p − ω v)

@@ -23,6 +23,7 @@ func NewCG(p *core.Planner) *CG {
 		q:  p.AllocateWorkspace(core.RhsShape),
 		r:  p.AllocateWorkspace(core.RhsShape),
 	}
+	p.BeginPhase("cg.init")
 	residualInit(p, s.r)
 	p.Copy(s.pv, s.r)
 	s.res = p.Dot(s.r, s.r)
@@ -38,6 +39,7 @@ func (s *CG) ConvergenceMeasure() *core.Scalar { return s.res }
 // Step implements Solver: one CG iteration, entirely deferred.
 func (s *CG) Step() {
 	p := s.p
+	p.BeginPhase("cg.step")
 	p.Matmul(s.q, s.pv)            // q = A p
 	pq := p.Dot(s.pv, s.q)         // pᵀAp
 	alpha := p.Div(s.res, pq)      // α = res / pᵀAp

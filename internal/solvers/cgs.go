@@ -35,6 +35,7 @@ func NewCGS(p *core.Planner) *CGS {
 		vhat: p.AllocateWorkspace(core.RhsShape),
 		uq:   p.AllocateWorkspace(core.SolShape),
 	}
+	p.BeginPhase("cgs.init")
 	residualInit(p, s.r)
 	p.Copy(s.rt, s.r)
 	s.res = p.Dot(s.r, s.r)
@@ -50,6 +51,7 @@ func (s *CGS) ConvergenceMeasure() *core.Scalar { return s.res }
 // Step implements Solver: one CGS iteration, entirely deferred.
 func (s *CGS) Step() {
 	p := s.p
+	p.BeginPhase("cgs.step")
 	rho := p.Dot(s.rt, s.r)
 	if s.k == 0 {
 		p.Copy(s.u, s.r)

@@ -44,6 +44,7 @@ func NewChebyshev(p *core.Planner, lmin, lmax float64) *Chebyshev {
 		d: p.AllocateWorkspace(core.SolShape),
 	}
 	s.rho = 1 / s.sigma1
+	p.BeginPhase("chebyshev.init")
 	residualInit(p, s.r)
 	// d₀ = r/θ.
 	p.Zero(s.d)
@@ -65,6 +66,7 @@ func (s *Chebyshev) ConvergenceMeasure() *core.Scalar {
 // tasks, no reductions, no global synchronization.
 func (s *Chebyshev) Step() {
 	p := s.p
+	p.BeginPhase("chebyshev.step")
 	p.AxpyConst(core.SOL, 1, s.d)
 	p.Matmul(s.z, s.d)
 	p.AxpyConst(s.r, -1, s.z)

@@ -47,6 +47,7 @@ func NewGMRES(p *core.Planner, m int) *GMRES {
 // restart begins a new cycle: v₀ = r/‖r‖ with r = b − Ax.
 func (s *GMRES) restart() {
 	p := s.p
+	p.BeginPhase("gmres.restart")
 	r := s.basis[0]
 	residualInit(p, r)
 	rr := p.Dot(r, r)
@@ -67,6 +68,7 @@ func (s *GMRES) ConvergenceMeasure() *core.Scalar { return s.res }
 // the cycle's least-squares problem and updates x.
 func (s *GMRES) Step() {
 	p := s.p
+	p.BeginPhase("gmres.arnoldi")
 	j := s.j
 	// w = A v_j, then modified Gram-Schmidt against v₀ … v_j.
 	p.Matmul(s.w, s.basis[j])
@@ -78,10 +80,27 @@ func (s *GMRES) Step() {
 	}
 	hlast := p.Sqrt(p.Dot(s.w, s.w))
 	col[j+1] = hlast
-	p.Copy(s.basis[j+1], s.w)
-	p.Scal(s.basis[j+1], p.Div(p.Constant(1), hlast))
 	s.h = append(s.h, col)
 	s.j++
+
+	// Happy breakdown: w vanished, so the Krylov space is invariant and
+	// the cycle's least-squares solution is exact. Normalizing would
+	// divide by zero and poison the basis with NaNs; instead solve the
+	// cycle with the columns built so far and restart. The check reads
+	// h_{j+1,j} (a per-step synchronization), so it is skipped on virtual
+	// planners, where every future resolves to zero and would trigger it
+	// spuriously.
+	if !p.Virtual() {
+		hv := hlast.Value()
+		if hv <= 1e-14*(1+math.Abs(s.beta.Value())) {
+			s.finishCycle()
+			s.restart()
+			return
+		}
+	}
+
+	p.Copy(s.basis[j+1], s.w)
+	p.Scal(s.basis[j+1], p.Div(p.Constant(1), hlast))
 
 	if s.j == s.m {
 		s.finishCycle()
@@ -93,6 +112,7 @@ func (s *GMRES) Step() {
 // applies x += V y.
 func (s *GMRES) finishCycle() {
 	p := s.p
+	p.BeginPhase("gmres.update")
 	m := s.j
 	// Pull the Hessenberg entries and β (synchronizes).
 	h := make([][]float64, m) // h[j] has m+1 rows

@@ -45,6 +45,7 @@ func NewMINRES(p *core.Planner) *MINRES {
 		w1: p.AllocateWorkspace(core.SolShape),
 		w2: p.AllocateWorkspace(core.SolShape),
 	}
+	p.BeginPhase("minres.init")
 	residualInit(p, s.r2)
 	p.Copy(s.r1, s.r2)
 	rr := p.Dot(s.r2, s.r2)
@@ -74,6 +75,7 @@ func safeInv(x float64) float64 {
 // plane rotation and solution update.
 func (s *MINRES) Step() {
 	p := s.p
+	p.BeginPhase("minres.step")
 	s.k++
 
 	// v = r2/β; y = A v.

@@ -31,6 +31,7 @@ func NewPCG(p *core.Planner) *PCG {
 		r:  p.AllocateWorkspace(core.RhsShape),
 		z:  p.AllocateWorkspace(core.SolShape),
 	}
+	p.BeginPhase("pcg.init")
 	residualInit(p, s.r)
 	p.PSolve(s.z, s.r) // z = P r
 	p.Copy(s.pv, s.z)
@@ -48,6 +49,7 @@ func (s *PCG) ConvergenceMeasure() *core.Scalar { return s.res }
 // Step implements Solver: one PCG iteration, entirely deferred.
 func (s *PCG) Step() {
 	p := s.p
+	p.BeginPhase("pcg.step")
 	p.Matmul(s.q, s.pv)
 	alpha := p.Div(s.rz, p.Dot(s.pv, s.q))
 	p.Axpy(core.SOL, alpha, s.pv)

@@ -581,3 +581,44 @@ func TestChebyshevValidation(t *testing.T) {
 		t.Fatalf("identity system failed: %+v", res)
 	}
 }
+
+func TestGMRESHappyBreakdown(t *testing.T) {
+	// A diagonal matrix with two distinct eigenvalues: the Krylov space
+	// K(A, r0) has dimension 2, so GMRES(10) exhausts it ("happy
+	// breakdown") well before the restart boundary. The Arnoldi
+	// normalization must not divide by the vanished h_{j+1,j} — doing so
+	// NaN-poisons the basis and the reported residual.
+	n := int64(6)
+	d := make([]float64, n)
+	for i := range d {
+		if i%2 == 0 {
+			d[i] = 5
+		} else {
+			d[i] = 2
+		}
+	}
+	a := sparse.DiagonalCSR(d)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	want := denseSolve(a, b)
+	p := planFor(a, b, 3)
+	res := Solve(NewGMRES(p, 10), 1e-10, 50)
+	p.Drain()
+	if err := p.Runtime().Err(); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Residual) {
+		t.Fatalf("residual is NaN after breakdown: %+v", res)
+	}
+	if !res.Converged {
+		t.Fatalf("GMRES did not converge: %+v", res)
+	}
+	if res.Iterations >= 10 {
+		t.Fatalf("converged in %d iterations, want fewer than the restart length", res.Iterations)
+	}
+	if diff := maxAbsDiff(p.SolData(0), want); diff > 1e-8 {
+		t.Errorf("solution off by %g", diff)
+	}
+}

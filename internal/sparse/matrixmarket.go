@@ -61,6 +61,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	if rows <= 0 || cols <= 0 {
 		return nil, fmt.Errorf("sparse: invalid dimensions %d x %d", rows, cols)
 	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("sparse: invalid entry count %d", nnz)
+	}
 
 	coords := make([]Coord, 0, nnz)
 	var read int64

@@ -67,6 +67,19 @@ func TestReadMatrixMarketErrors(t *testing.T) {
 	}
 }
 
+func TestReadMatrixMarketNegativeNNZ(t *testing.T) {
+	// A corrupt header with a negative entry count used to reach
+	// make([]Coord, 0, nnz) and panic; it must be a clean error.
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 -1\n"
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err == nil {
+		t.Fatalf("expected error for negative nnz, got matrix %v", a)
+	}
+	if !strings.Contains(err.Error(), "entry count") {
+		t.Fatalf("unhelpful error for negative nnz: %v", err)
+	}
+}
+
 func TestMatrixMarketRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))

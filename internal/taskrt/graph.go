@@ -8,6 +8,9 @@ type Node struct {
 	ID int64
 	// Name labels the task kind ("matmul", "axpy", "dot", ...).
 	Name string
+	// Phase is the solver-phase label active when the task was launched
+	// ("cg.step", "gmres.arnoldi", ...), empty when untagged.
+	Phase string
 	// Proc is the simulated processor the mapper assigned.
 	Proc int
 	// Cost is the task's compute time in seconds on that processor.
@@ -50,6 +53,17 @@ func (g *Graph) TotalCost() float64 {
 		t += n.Cost
 	}
 	return t
+}
+
+// DepLists returns the dependence lists indexed by task ID — the shape
+// the obs critical-path analyzer consumes. The inner slices share the
+// nodes' storage; callers must not modify them.
+func (g Graph) DepLists() [][]int64 {
+	deps := make([][]int64, len(g.Nodes))
+	for i, n := range g.Nodes {
+		deps[i] = n.Deps
+	}
+	return deps
 }
 
 // CriticalPathCost returns the longest compute-cost path through the

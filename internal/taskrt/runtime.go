@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/obs"
 	"kdrsolvers/internal/region"
 )
 
@@ -15,6 +16,9 @@ import (
 type TaskSpec struct {
 	// Name labels the task kind for diagnostics and the recorded graph.
 	Name string
+	// Phase optionally labels the solver phase the task belongs to; an
+	// empty Phase inherits the runtime's current phase (SetPhase).
+	Phase string
 	// Proc is the simulated processor the mapper chose for the task.
 	Proc int
 	// Cost is the task's simulated compute time in seconds.
@@ -43,6 +47,10 @@ type Stats struct {
 	// TraceReplays is the number of tasks launched inside a memoized
 	// trace.
 	TraceReplays int64
+	// Failed is the number of tasks whose body panicked. The first
+	// failure's detail is in Err; per-task failure records go to the
+	// attached obs.Recorder.
+	Failed int64
 }
 
 // histKey identifies one field of one region in the dependence history.
@@ -58,13 +66,20 @@ type histEntry struct {
 	priv   region.Privilege
 }
 
-// taskState tracks an incomplete task's scheduling state.
+// taskState tracks an incomplete task's scheduling state. Name, phase,
+// proc, and the recorder are copied out of the spec at launch so that
+// execution and failure reporting never need the runtime lock.
 type taskState struct {
 	id      int64
+	name    string
+	phase   string
+	proc    int
 	run     func() float64
 	future  *Future
 	pending int
 	succs   []*taskState
+	rec     *obs.Recorder
+	launch  float64 // recorder time at launch (valid when rec != nil)
 }
 
 // Runtime launches tasks, derives their dependence graph from region
@@ -81,22 +96,55 @@ type Runtime struct {
 	graph   Graph
 	stats   Stats
 	wg      sync.WaitGroup
-	sem     chan struct{}
+	workers chan int // pool of worker IDs; len = concurrency limit
 	traces  map[string]bool
 	replay  bool
 	tracing bool
 	err     error
+	rec     *obs.Recorder
+	phase   string
 }
 
 // New returns an empty runtime executing up to GOMAXPROCS tasks
 // concurrently.
 func New() *Runtime {
-	return &Runtime{
-		hist:   make(map[histKey][]histEntry),
-		tasks:  make(map[int64]*taskState),
-		sem:    make(chan struct{}, runtime.GOMAXPROCS(0)),
-		traces: make(map[string]bool),
+	nw := runtime.GOMAXPROCS(0)
+	workers := make(chan int, nw)
+	for w := 0; w < nw; w++ {
+		workers <- w
 	}
+	return &Runtime{
+		hist:    make(map[histKey][]histEntry),
+		tasks:   make(map[int64]*taskState),
+		workers: workers,
+		traces:  make(map[string]bool),
+	}
+}
+
+// SetRecorder attaches an observability recorder: every task executed
+// from now on records a wall-clock span (launch, start, end, worker)
+// and failures are reported as telemetry. A nil recorder disables
+// recording. Tasks launched before the call are not back-filled.
+func (rt *Runtime) SetRecorder(r *obs.Recorder) {
+	rt.mu.Lock()
+	rt.rec = r
+	rt.mu.Unlock()
+}
+
+// Recorder returns the attached recorder, or nil.
+func (rt *Runtime) Recorder() *obs.Recorder {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.rec
+}
+
+// SetPhase labels subsequently launched tasks with a solver-phase name
+// (recorded on Node.Phase and in spans). Specs carrying their own Phase
+// override it.
+func (rt *Runtime) SetPhase(label string) {
+	rt.mu.Lock()
+	rt.phase = label
+	rt.mu.Unlock()
 }
 
 // Launch submits a task. Dependence analysis against previously launched
@@ -121,8 +169,12 @@ func (rt *Runtime) Launch(spec TaskSpec) *Future {
 	for i, d := range deps {
 		bytes[i] = depBytes[d]
 	}
+	phase := spec.Phase
+	if phase == "" {
+		phase = rt.phase
+	}
 	rt.graph.Nodes = append(rt.graph.Nodes, Node{
-		ID: id, Name: spec.Name, Proc: spec.Proc, Cost: spec.Cost,
+		ID: id, Name: spec.Name, Phase: phase, Proc: spec.Proc, Cost: spec.Cost,
 		Deps: deps, DepBytes: bytes, Traced: rt.replay, Host: spec.Host,
 	})
 	rt.stats.Launched++
@@ -131,7 +183,13 @@ func (rt *Runtime) Launch(spec TaskSpec) *Future {
 		rt.stats.TraceReplays++
 	}
 
-	ts := &taskState{id: id, run: spec.Run, future: fut}
+	ts := &taskState{
+		id: id, name: spec.Name, phase: phase, proc: spec.Proc,
+		run: spec.Run, future: fut, rec: rt.rec,
+	}
+	if ts.rec != nil {
+		ts.launch = ts.rec.Now()
+	}
 	for _, d := range deps {
 		if pred, live := rt.tasks[d]; live {
 			pred.succs = append(pred.succs, ts)
@@ -194,9 +252,19 @@ func (rt *Runtime) analyze(id int64, ref region.Ref, depBytes map[int64]int64) {
 
 // execute runs one ready task and then releases its successors.
 func (rt *Runtime) execute(ts *taskState) {
-	rt.sem <- struct{}{}
+	w := <-rt.workers
+	var start float64
+	if ts.rec != nil {
+		start = ts.rec.Now()
+	}
 	val := rt.runGuarded(ts)
-	<-rt.sem
+	if ts.rec != nil {
+		ts.rec.Record(obs.Span{
+			ID: ts.id, Name: ts.name, Phase: ts.phase, Proc: ts.proc,
+			Worker: w, Launch: ts.launch, Start: start, End: ts.rec.Now(),
+		})
+	}
+	rt.workers <- w
 	ts.future.set(val)
 
 	rt.mu.Lock()
@@ -226,13 +294,16 @@ func (rt *Runtime) runGuarded(ts *taskState) (val float64) {
 	defer func() {
 		if r := recover(); r != nil {
 			val = math.NaN()
+			if ts.rec != nil {
+				ts.rec.RecordFailure(obs.Failure{
+					Task: ts.id, Name: ts.name, Phase: ts.phase,
+					Msg: fmt.Sprint(r),
+				})
+			}
 			rt.mu.Lock()
+			rt.stats.Failed++
 			if rt.err == nil {
-				name := "?"
-				if int(ts.id) < len(rt.graph.Nodes) {
-					name = rt.graph.Nodes[ts.id].Name
-				}
-				rt.err = fmt.Errorf("taskrt: task %d (%s) panicked: %v", ts.id, name, r)
+				rt.err = fmt.Errorf("taskrt: task %d (%s) panicked: %v", ts.id, ts.name, r)
 			}
 			rt.mu.Unlock()
 		}

@@ -565,3 +565,68 @@ func TestIndexLaunch(t *testing.T) {
 		t.Fatal("point tasks did not run")
 	}
 }
+
+func TestTraceReplayTwoCyclesSameKey(t *testing.T) {
+	// The second cycle under the same key must replay the first: its
+	// tasks are memoized, and TraceReplays counts exactly them. A later
+	// cycle under a fresh key records again and replays nothing.
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 8), "x")
+	cycle := func(key string) {
+		rt.BeginTrace(key)
+		rt.Launch(TaskSpec{Name: "a", Refs: []region.Ref{ref(r, "x", 0, 7, region.ReadWrite)}})
+		rt.Launch(TaskSpec{Name: "b", Refs: []region.Ref{ref(r, "x", 0, 7, region.ReadOnly)}})
+		rt.Launch(TaskSpec{Name: "c", Refs: []region.Ref{ref(r, "x", 0, 7, region.ReadOnly)}})
+		rt.EndTrace()
+	}
+	cycle("step")
+	if got := rt.Stats().TraceReplays; got != 0 {
+		t.Fatalf("after recording cycle: TraceReplays = %d, want 0", got)
+	}
+	cycle("step")
+	if got := rt.Stats().TraceReplays; got != 3 {
+		t.Fatalf("after replay cycle: TraceReplays = %d, want 3", got)
+	}
+	cycle("other")
+	rt.Drain()
+	if got := rt.Stats().TraceReplays; got != 3 {
+		t.Fatalf("fresh key must record, not replay: TraceReplays = %d, want 3", got)
+	}
+	g := rt.Graph()
+	if g.Len() != 9 {
+		t.Fatalf("graph has %d nodes, want 9", g.Len())
+	}
+	for i, n := range g.Nodes {
+		wantTraced := i >= 3 && i < 6
+		if n.Traced != wantTraced {
+			t.Errorf("node %d Traced = %v, want %v", i, n.Traced, wantTraced)
+		}
+	}
+}
+
+func TestIndexLaunchFutureColorOrder(t *testing.T) {
+	// futs[c] must be color c's future regardless of processor mapping or
+	// completion order; map colors to processors in reverse to make an
+	// ordering mix-up visible.
+	rt := New()
+	r := region.New("v", index.NewSpace("D", 32), "x")
+	futs := rt.IndexLaunch(8, func(c int) TaskSpec {
+		lo := int64(c * 4)
+		return TaskSpec{
+			Name: "point", Proc: 7 - c,
+			Refs: []region.Ref{ref(r, "x", lo, lo+3, region.WriteDiscard)},
+			Run:  func() float64 { return float64(c*c + 1) },
+		}
+	})
+	for c, f := range futs {
+		if got, want := f.Value(), float64(c*c+1); got != want {
+			t.Fatalf("future %d = %g, want %g", c, got, want)
+		}
+	}
+	rt.Drain()
+	for i, n := range rt.Graph().Nodes {
+		if want := 7 - i; n.Proc != want {
+			t.Errorf("node %d mapped to proc %d, want %d", i, n.Proc, want)
+		}
+	}
+}
