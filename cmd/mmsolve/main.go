@@ -4,6 +4,9 @@
 //
 //	mmsolve -solver bicgstab -tol 1e-8 matrix.mtx
 //
+// The matrix argument is either a .mtx file or a generated stencil spec
+// like "lap2d:64x64" (a 5-point 2D Laplacian on a 64×64 grid).
+//
 // The right-hand side defaults to A·1 (so the exact solution is the
 // all-ones vector, making correctness easy to eyeball); -rhs ones uses
 // b = 1 instead. For SPD matrices try -solver cg or -solver pcg (Jacobi).
@@ -12,6 +15,17 @@
 // per-iteration telemetry line plus a per-task-name breakdown with the
 // schedule's critical path; -trace-out additionally writes the spans as a
 // Chrome trace (load it in Perfetto or chrome://tracing).
+//
+// Fault tolerance (chaos runs): -faults injects a deterministic fault
+// plan (e.g. -faults "panic=0.01,seed=1"), -retries enables bounded
+// re-execution of idempotent tasks, -watchdog flags stragglers, and
+// -checkpoint-every N switches to the resilient driver, which checkpoints
+// the solution every N iterations and rolls back on failure, corruption,
+// or divergence (-max-restarts bounds the rollbacks).
+//
+// Exit status: 0 on a converged solve (including one that recovered from
+// injected or real task failures), 1 on non-convergence, breakdown, or
+// unrecovered task failure, 2 on usage errors.
 package main
 
 import (
@@ -19,9 +33,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"kdrsolvers/internal/core"
+	"kdrsolvers/internal/fault"
 	"kdrsolvers/internal/index"
 	"kdrsolvers/internal/machine"
 	"kdrsolvers/internal/obs"
@@ -39,6 +56,12 @@ func main() {
 	rhs := flag.String("rhs", "Aones", "right-hand side: 'Aones' (b = A·1) or 'ones' (b = 1)")
 	profile := flag.Bool("profile", false, "record task timings; print per-iteration telemetry and a per-task breakdown")
 	traceOut := flag.String("trace-out", "", "write recorded task spans as a Chrome trace to this file (implies -profile)")
+	faults := flag.String("faults", "", "fault-injection plan, e.g. 'panic=0.01,seed=1' (see internal/fault)")
+	retries := flag.Int("retries", 0, "execution attempts per idempotent task (0 or 1 disables retry)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "delay before re-executing a failed task (doubles per attempt)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the solution every N iterations and roll back on failure (0 disables the resilient driver)")
+	maxRestarts := flag.Int("max-restarts", 3, "checkpoint rollback budget for the resilient driver")
+	watchdog := flag.Duration("watchdog", 0, "flag tasks running past this wall-clock budget as stragglers (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mmsolve [flags] matrix.mtx")
@@ -47,14 +70,13 @@ func main() {
 	if *traceOut != "" {
 		*profile = true
 	}
-
-	f, err := os.Open(flag.Arg(0))
+	plan, err := fault.ParsePlan(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	a, err := sparse.ReadMatrixMarket(f)
-	f.Close()
+
+	a, err := loadMatrix(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
 		os.Exit(1)
@@ -99,19 +121,64 @@ func main() {
 		rec = p.EnableProfiling()
 	}
 	rt := p.Runtime()
+	var injector *fault.Injector
+	if plan.Active() {
+		injector = fault.NewInjector(plan)
+		rt.SetFaultInjector(injector)
+		fmt.Printf("fault injection: %s\n", *faults)
+	}
+	if *retries > 1 {
+		rt.SetRetryPolicy(taskrt.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff})
+	}
+	if *watchdog > 0 {
+		rt.SetWatchdog(*watchdog)
+	}
 
+	resilient := *ckptEvery > 0
 	start := time.Now()
-	s := solvers.New(*solverName, p)
-	res := solve(s, rt, *tol, *maxIter, *profile)
+	var res solvers.Result
+	var rres solvers.ResilientResult
+	if resilient {
+		mr := *maxRestarts
+		if mr <= 0 {
+			mr = -1 // solvers.ResilientConfig: negative disables restarts
+		}
+		rres = solvers.SolveResilient(p, func() solvers.Solver {
+			return solvers.New(*solverName, p)
+		}, solvers.ResilientConfig{
+			Tol: *tol, MaxIter: *maxIter,
+			CheckpointEvery: *ckptEvery, MaxRestarts: mr,
+			Log: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		res = rres.Result
+	} else {
+		s := solvers.New(*solverName, p)
+		res = solve(s, rt, *tol, *maxIter, *profile)
+	}
 	p.Drain()
 	elapsed := time.Since(start)
 
-	if err := rt.Err(); err != nil {
+	st := rt.Stats()
+	if injector != nil || st.Failed > 0 || st.Retries > 0 || st.Stragglers > 0 {
+		fmt.Printf("faults: injected %d; tasks failed %d, retried %d, poisoned %d, stragglers %d\n",
+			injectedCount(injector), st.Failed, st.Retries, st.Poisoned, st.Stragglers)
+	}
+	if resilient {
+		fmt.Printf("resilience: %d checkpoint(s), %d restart(s), %d permanent failure(s) absorbed\n",
+			rres.Checkpoints, rres.Restarts, rres.RecoveredFailures)
+	}
+
+	// A converged resilient solve has, by construction, verified the true
+	// residual after recovery, so recovered task failures do not fail the
+	// run. A plain solve has no recovery path: any task failure is fatal.
+	// The exit is deferred past the profile output — a failed chaos run is
+	// exactly the one whose trace is worth looking at.
+	failed := false
+	if err := rt.Err(); err != nil && !(resilient && res.Converged) {
 		fmt.Fprintln(os.Stderr, "mmsolve: solve failed:", err)
-		if st := rt.Stats(); st.Failed > 0 {
-			fmt.Fprintf(os.Stderr, "mmsolve: %d task(s) failed\n", st.Failed)
-		}
-		os.Exit(1)
+		failed = true
 	}
 
 	fmt.Printf("solver: %s\n", *solverName)
@@ -119,7 +186,7 @@ func main() {
 		res.Converged, res.Iterations, res.Residual)
 	fmt.Printf("wall time: %v (%.3g s/iteration)\n",
 		elapsed, elapsed.Seconds()/math.Max(1, float64(res.Iterations)))
-	if *rhs == "Aones" {
+	if *rhs == "Aones" && res.Converged && !failed {
 		var maxErr float64
 		for _, v := range x {
 			if e := math.Abs(v - 1); e > maxErr {
@@ -142,9 +209,43 @@ func main() {
 			fmt.Printf("wrote Chrome trace: %s (%d spans)\n", *traceOut, len(spans))
 		}
 	}
-	if !res.Converged {
+	if res.Breakdown != nil {
+		fmt.Fprintln(os.Stderr, "mmsolve:", res.Breakdown)
+	}
+	if failed || !res.Converged {
 		os.Exit(1)
 	}
+}
+
+// loadMatrix reads a Matrix Market file, or generates a 5-point 2D
+// Laplacian stencil when the argument has the form "lap2d:NXxNY" — handy
+// for chaos runs that should not depend on a matrix file being around.
+func loadMatrix(arg string) (*sparse.CSR, error) {
+	if dims, ok := strings.CutPrefix(arg, "lap2d:"); ok {
+		sx, sy, ok := strings.Cut(dims, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad stencil spec %q, want lap2d:NXxNY", arg)
+		}
+		nx, err1 := strconv.ParseInt(sx, 10, 64)
+		ny, err2 := strconv.ParseInt(sy, 10, 64)
+		if err1 != nil || err2 != nil || nx <= 0 || ny <= 0 {
+			return nil, fmt.Errorf("bad stencil spec %q, want lap2d:NXxNY", arg)
+		}
+		return sparse.Laplacian2D(nx, ny), nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sparse.ReadMatrixMarket(f)
+}
+
+func injectedCount(in *fault.Injector) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.Injected()
 }
 
 // solve mirrors solvers.Solve — synchronize on the convergence measure
@@ -173,6 +274,11 @@ func solve(s solvers.Solver, rt *taskrt.Runtime, tol float64, maxIter int, telem
 		}
 		if res <= tol || math.IsNaN(res) {
 			return solvers.Result{Iterations: i, Residual: res, Converged: res <= tol}
+		}
+		if bc, ok := s.(solvers.BreakdownChecker); ok {
+			if err := bc.Breakdown(); err != nil {
+				return solvers.Result{Iterations: i, Residual: res, Breakdown: err}
+			}
 		}
 	}
 	return solvers.Result{Iterations: maxIter, Residual: res, Converged: false}

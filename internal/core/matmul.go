@@ -160,6 +160,10 @@ func (p *Planner) launchMultiplyAdd(name string, opIdx, color int, op *opEntry,
 			pieceRef(inReg, inSet, region.ReadOnly),
 		},
 		Run: run,
+		// A write-discard multiply-add zeroes its whole write set before
+		// accumulating, so re-execution is safe; a reduction into data
+		// earlier operators wrote is not.
+		Retryable: priv == region.WriteDiscard,
 	})
 }
 
@@ -181,7 +185,7 @@ func (p *Planner) zeroPiece(reg *region.Region, subset index.IntervalSet, proc i
 		Name: "zero", Proc: proc,
 		Cost: p.mach.Blas1Cost(subset.Size()),
 		Refs: []region.Ref{pieceRef(reg, subset, region.WriteDiscard)},
-		Run:  run,
+		Run:  run, Retryable: true,
 	})
 }
 

@@ -387,6 +387,40 @@ func (p *Planner) VecData(id VecID, comp int) []float64 {
 // Drain blocks until all launched tasks complete.
 func (p *Planner) Drain() { p.rt.Drain() }
 
+// CheckpointSol deep-copies the storage of every solution component,
+// the planner-level checkpoint a resilient driver restarts from. Call
+// Drain first so no task is mid-write. Real planners only.
+func (p *Planner) CheckpointSol() [][]float64 {
+	if p.virtual {
+		panic("core: checkpointing requires a real planner")
+	}
+	out := make([][]float64, len(p.vecs[SOL].regs))
+	for i, reg := range p.vecs[SOL].regs {
+		out[i] = append([]float64(nil), reg.Field("v")...)
+	}
+	return out
+}
+
+// RestoreSol writes a checkpoint taken by CheckpointSol back into the
+// solution vector's storage. The runtime must be quiescent (Drain first):
+// the write happens host-side, outside the dependence analysis, and is
+// safe only when no task is in flight. Real planners only.
+func (p *Planner) RestoreSol(ckpt [][]float64) {
+	if p.virtual {
+		panic("core: checkpointing requires a real planner")
+	}
+	if len(ckpt) != len(p.vecs[SOL].regs) {
+		panic("core: checkpoint component count mismatch")
+	}
+	for i, reg := range p.vecs[SOL].regs {
+		dst := reg.Field("v")
+		if len(ckpt[i]) != len(dst) {
+			panic("core: checkpoint component size mismatch")
+		}
+		copy(dst, ckpt[i])
+	}
+}
+
 // NumSolComponents returns the number of solution components.
 func (p *Planner) NumSolComponents() int { return len(p.sol) }
 

@@ -32,6 +32,11 @@ func (s *Scalar) ref(priv region.Privilege) region.Ref {
 // not convergence tests, from scalars.
 func (s *Scalar) Value() float64 { return s.fut.Value() }
 
+// Err blocks until the scalar is computed and returns its error state:
+// nil on success, the producing task's failure otherwise (including
+// taskrt.ErrPoisoned cancellations).
+func (s *Scalar) Err() error { return s.fut.Err() }
+
 // newScalar allocates the backing region for a scalar produced on proc.
 func (p *Planner) newScalar(name string, proc int) *Scalar {
 	p.scalarSeq++
@@ -90,8 +95,11 @@ func (p *Planner) ScalarExpr(name string, fn func(vals []float64) float64, args 
 			return v
 		}
 	}
+	// Scalar expressions read their arguments and overwrite their output:
+	// idempotent, hence retryable.
 	out.fut = p.rt.Launch(taskrt.TaskSpec{
 		Name: name, Proc: proc, Cost: 0, Refs: refs, Run: run, Host: true,
+		Retryable: true,
 	})
 	return out
 }

@@ -10,6 +10,13 @@ import (
 // becomes one task per component piece (an index launch over the
 // canonical partition), placed on the piece's owning processor. Real
 // planners perform the arithmetic; virtual planners record only costs.
+//
+// Tasks whose bodies are idempotent — they fully overwrite their outputs
+// and read nothing they write (zero, copy, dot) — are marked Retryable so
+// the runtime may re-execute them after a transient failure. Read-modify-
+// write bodies (scal, axpy, xpay, reductions) are not: a partial first
+// attempt would double-apply, so their failures escalate to the solver's
+// checkpoint/restart layer instead.
 
 // pieceRef builds a region reference for one piece of one vector
 // component.
@@ -47,7 +54,7 @@ func (p *Planner) Zero(dst VecID) {
 			Name: "zero", Proc: proc,
 			Cost: p.mach.Blas1Cost(subset.Size()),
 			Refs: []region.Ref{pieceRef(dv.regs[ci], subset, region.WriteDiscard)},
-			Run:  run,
+			Run:  run, Retryable: true,
 		})
 	})
 }
@@ -77,7 +84,7 @@ func (p *Planner) Copy(dst, src VecID) {
 				pieceRef(dv.regs[ci], subset, region.WriteDiscard),
 				pieceRef(sv.regs[ci], subset, region.ReadOnly),
 			},
-			Run: run,
+			Run: run, Retryable: true,
 		})
 	})
 }
@@ -225,7 +232,7 @@ func (p *Planner) Dot(v, w VecID) *Scalar {
 				pieceRef(wv.regs[ci], subset, region.ReadOnly),
 				{Region: scratch.ID(), Field: "s", Subset: index.Span(mySlot, mySlot), Priv: region.WriteDiscard},
 			},
-			Run: run,
+			Run: run, Retryable: true,
 		})
 	})
 
@@ -251,7 +258,7 @@ func (p *Planner) Dot(v, w VecID) *Scalar {
 			{Region: scratch.ID(), Field: "s", Subset: index.Span(0, int64(total)-1), Priv: region.ReadOnly},
 			out.ref(region.WriteDiscard),
 		},
-		Run: run,
+		Run: run, Retryable: true,
 	})
 	return out
 }

@@ -1,0 +1,246 @@
+// Package fault is a deterministic, seedable fault injector for the task
+// runtime. A Plan describes which tasks should misbehave and how often; an
+// Injector draws a reproducible schedule from the plan, so every failure
+// path — panics, silent NaN corruption, stragglers — is exercisable in
+// tests and from the CLI with the same schedule for the same seed.
+//
+// Determinism contract: the Injector consumes one pseudo-random draw per
+// *eligible* decision, in call order. The runtime calls Decide once per
+// task launch under its launch lock, so a single-threaded launcher (the
+// usual solver goroutine) sees an identical fault schedule on every run
+// with the same seed, plan, and program.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// None means the task runs clean.
+	None Kind = iota
+	// Panic makes the task body panic before doing any work — the
+	// transient-crash model. Because no work has been done the task is
+	// always safe to re-execute, but the runtime cannot know that and
+	// applies its usual retryability rules.
+	Panic
+	// NaN runs the task body normally and then silently corrupts its
+	// scalar result to NaN — the silent-data-corruption model. No error is
+	// raised; detection is the solver's job.
+	NaN
+	// Stall sleeps for the plan's stall duration before running the body —
+	// the straggler model, visible to the runtime watchdog.
+	Stall
+)
+
+// String returns the kind's conventional name.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case NaN:
+		return "nan"
+	case Stall:
+		return "stall"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Injection is the fault chosen for one task at launch. The zero value
+// means no fault.
+type Injection struct {
+	// Kind is what happens to the task.
+	Kind Kind
+	// Sticky faults re-fire on every execution attempt; non-sticky faults
+	// fire only on the first attempt, so a retry runs clean (the
+	// transient-fault model).
+	Sticky bool
+	// Stall is how long a Stall fault sleeps.
+	Stall time.Duration
+}
+
+// Plan describes a fault workload. Rates are per eligible task launch and
+// partition a single uniform draw, so PanicRate+NaNRate+StallRate must not
+// exceed 1.
+type Plan struct {
+	// Seed seeds the schedule; equal seeds give equal schedules.
+	Seed int64
+	// PanicRate, NaNRate, StallRate are the per-launch probabilities of
+	// each fault kind.
+	PanicRate, NaNRate, StallRate float64
+	// StallFor is the injected straggler delay (default 50ms).
+	StallFor time.Duration
+	// Names restricts injection to the listed task names (empty = all).
+	Names []string
+	// Phases restricts injection to the listed solver phases (empty = all).
+	Phases []string
+	// Sticky makes faults re-fire on retry attempts.
+	Sticky bool
+	// MaxFaults caps the total number of injected faults (0 = unlimited).
+	MaxFaults int
+}
+
+// Active reports whether the plan can inject anything at all.
+func (p Plan) Active() bool {
+	return p.PanicRate > 0 || p.NaNRate > 0 || p.StallRate > 0
+}
+
+// Injector draws a deterministic fault schedule from a Plan. Methods are
+// safe for concurrent use, though determinism additionally requires that
+// Decide calls arrive in a deterministic order (see the package comment).
+type Injector struct {
+	mu      sync.Mutex
+	plan    Plan
+	rng     *rand.Rand
+	names   map[string]bool
+	phases  map[string]bool
+	decided int64
+	counts  map[Kind]int64
+}
+
+// NewInjector builds an injector for the plan. It panics when the rates
+// sum past 1.
+func NewInjector(p Plan) *Injector {
+	if p.PanicRate < 0 || p.NaNRate < 0 || p.StallRate < 0 ||
+		p.PanicRate+p.NaNRate+p.StallRate > 1 {
+		panic("fault: rates must be non-negative and sum to at most 1")
+	}
+	if p.StallFor <= 0 {
+		p.StallFor = 50 * time.Millisecond
+	}
+	in := &Injector{
+		plan:   p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		counts: make(map[Kind]int64),
+	}
+	if len(p.Names) > 0 {
+		in.names = make(map[string]bool, len(p.Names))
+		for _, n := range p.Names {
+			in.names[n] = true
+		}
+	}
+	if len(p.Phases) > 0 {
+		in.phases = make(map[string]bool, len(p.Phases))
+		for _, ph := range p.Phases {
+			in.phases[ph] = true
+		}
+	}
+	return in
+}
+
+// Decide chooses the fault (possibly None) for one task launch. Filtered
+// tasks consume no randomness, so adding tasks outside the filter does not
+// perturb the schedule of tasks inside it.
+func (in *Injector) Decide(name, phase string) Injection {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.names != nil && !in.names[name] {
+		return Injection{}
+	}
+	if in.phases != nil && !in.phases[phase] {
+		return Injection{}
+	}
+	if in.plan.MaxFaults > 0 && in.total() >= int64(in.plan.MaxFaults) {
+		return Injection{}
+	}
+	in.decided++
+	u := in.rng.Float64()
+	var kind Kind
+	switch {
+	case u < in.plan.PanicRate:
+		kind = Panic
+	case u < in.plan.PanicRate+in.plan.NaNRate:
+		kind = NaN
+	case u < in.plan.PanicRate+in.plan.NaNRate+in.plan.StallRate:
+		kind = Stall
+	default:
+		return Injection{}
+	}
+	in.counts[kind]++
+	return Injection{Kind: kind, Sticky: in.plan.Sticky, Stall: in.plan.StallFor}
+}
+
+func (in *Injector) total() int64 {
+	var t int64
+	for _, c := range in.counts {
+		t += c
+	}
+	return t
+}
+
+// Injected returns the total number of faults handed out so far.
+func (in *Injector) Injected() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total()
+}
+
+// Count returns how many faults of one kind were handed out.
+func (in *Injector) Count(k Kind) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[k]
+}
+
+// ParsePlan parses the CLI fault-plan syntax: a comma-separated list of
+// key=value settings.
+//
+//	panic=0.01,nan=0.001,seed=1,sticky=true,name=axpy|dot.partial
+//
+// Keys: panic, nan, stall (rates in [0,1]); seed (int); stallms
+// (straggler delay in milliseconds); sticky (bool); max (fault cap);
+// name, phase ('|'-separated filter lists).
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return p, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "panic":
+			p.PanicRate, err = strconv.ParseFloat(v, 64)
+		case "nan":
+			p.NaNRate, err = strconv.ParseFloat(v, 64)
+		case "stall":
+			p.StallRate, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "stallms":
+			var ms int64
+			ms, err = strconv.ParseInt(v, 10, 64)
+			p.StallFor = time.Duration(ms) * time.Millisecond
+		case "sticky":
+			p.Sticky, err = strconv.ParseBool(v)
+		case "max":
+			p.MaxFaults, err = strconv.Atoi(v)
+		case "name":
+			p.Names = strings.Split(v, "|")
+		case "phase":
+			p.Phases = strings.Split(v, "|")
+		default:
+			return p, fmt.Errorf("fault: unknown plan key %q", k)
+		}
+		if err != nil {
+			return p, fmt.Errorf("fault: bad value for %s: %v", k, err)
+		}
+	}
+	if p.PanicRate < 0 || p.NaNRate < 0 || p.StallRate < 0 ||
+		p.PanicRate+p.NaNRate+p.StallRate > 1 {
+		return p, fmt.Errorf("fault: rates must be non-negative and sum to at most 1")
+	}
+	return p, nil
+}

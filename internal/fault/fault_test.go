@@ -1,0 +1,173 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// schedule draws n decisions and returns the chosen kinds.
+func schedule(in *Injector, n int, name, phase string) []Kind {
+	out := make([]Kind, n)
+	for i := range out {
+		out[i] = in.Decide(name, phase).Kind
+	}
+	return out
+}
+
+func TestFaultDeterministicSchedule(t *testing.T) {
+	plan := Plan{Seed: 42, PanicRate: 0.2, NaNRate: 0.1, StallRate: 0.05}
+	a := schedule(NewInjector(plan), 500, "axpy", "cg.step")
+	b := schedule(NewInjector(plan), 500, "axpy", "cg.step")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must (with overwhelming probability) differ somewhere.
+	c := schedule(NewInjector(Plan{Seed: 43, PanicRate: 0.2, NaNRate: 0.1, StallRate: 0.05}), 500, "axpy", "cg.step")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 500-decision schedules")
+	}
+}
+
+func TestFaultRatesPartitionOneDraw(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, PanicRate: 0.3, NaNRate: 0.3, StallRate: 0.3})
+	const n = 10000
+	var got [4]int
+	for _, k := range schedule(in, n, "t", "") {
+		got[k]++
+	}
+	for k, want := range map[Kind]float64{Panic: 0.3, NaN: 0.3, Stall: 0.3, None: 0.1} {
+		frac := float64(got[k]) / n
+		if frac < want-0.05 || frac > want+0.05 {
+			t.Errorf("%v rate = %.3f, want ≈ %.2f", k, frac, want)
+		}
+	}
+	if in.Injected() != int64(got[Panic]+got[NaN]+got[Stall]) {
+		t.Fatalf("Injected = %d, counts say %d", in.Injected(), got[Panic]+got[NaN]+got[Stall])
+	}
+	if in.Count(Panic) != int64(got[Panic]) {
+		t.Fatalf("Count(Panic) = %d, want %d", in.Count(Panic), got[Panic])
+	}
+}
+
+func TestFaultFiltersConsumeNoRandomness(t *testing.T) {
+	plan := Plan{Seed: 7, PanicRate: 0.5, Names: []string{"axpy"}}
+	// Schedule A: only eligible decisions.
+	a := schedule(NewInjector(plan), 100, "axpy", "")
+	// Schedule B: the same eligible decisions interleaved with filtered-out
+	// ones. The eligible subsequence must be identical.
+	in := NewInjector(plan)
+	var b []Kind
+	for i := 0; i < 100; i++ {
+		if got := in.Decide("dot.partial", ""); got.Kind != None {
+			t.Fatal("filtered-out task was injected")
+		}
+		b = append(b, in.Decide("axpy", "").Kind)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("filtered tasks perturbed the schedule at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultPhaseFilter(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, PanicRate: 1, Phases: []string{"cg.step"}})
+	if in.Decide("axpy", "resilient.verify").Kind != None {
+		t.Fatal("wrong phase was injected")
+	}
+	if in.Decide("axpy", "cg.step").Kind != Panic {
+		t.Fatal("matching phase was not injected at rate 1")
+	}
+}
+
+func TestFaultMaxFaultsCap(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, PanicRate: 1, MaxFaults: 3})
+	for _, k := range schedule(in, 10, "t", "") {
+		_ = k
+	}
+	if in.Injected() != 3 {
+		t.Fatalf("Injected = %d, want cap 3", in.Injected())
+	}
+}
+
+func TestFaultStickyAndStallPropagate(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, StallRate: 1, StallFor: 7 * time.Millisecond, Sticky: true})
+	inj := in.Decide("t", "")
+	if inj.Kind != Stall || !inj.Sticky || inj.Stall != 7*time.Millisecond {
+		t.Fatalf("injection = %+v", inj)
+	}
+}
+
+func TestFaultDefaultStall(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, StallRate: 1})
+	if got := in.Decide("t", "").Stall; got != 50*time.Millisecond {
+		t.Fatalf("default stall = %v, want 50ms", got)
+	}
+}
+
+func TestFaultNewInjectorRejectsBadRates(t *testing.T) {
+	for _, p := range []Plan{
+		{PanicRate: 0.6, NaNRate: 0.6},
+		{PanicRate: -0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewInjector(%+v) did not panic", p)
+				}
+			}()
+			NewInjector(p)
+		}()
+	}
+}
+
+func TestFaultParsePlan(t *testing.T) {
+	p, err := ParsePlan("panic=0.01,nan=0.001,stall=0.002,seed=9,stallms=25,sticky=true,max=4,name=axpy|dot.partial,phase=cg.step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed: 9, PanicRate: 0.01, NaNRate: 0.001, StallRate: 0.002,
+		StallFor: 25 * time.Millisecond, Sticky: true, MaxFaults: 4,
+	}
+	if p.Seed != want.Seed || p.PanicRate != want.PanicRate || p.NaNRate != want.NaNRate ||
+		p.StallRate != want.StallRate || p.StallFor != want.StallFor ||
+		p.Sticky != want.Sticky || p.MaxFaults != want.MaxFaults {
+		t.Fatalf("ParsePlan = %+v", p)
+	}
+	if len(p.Names) != 2 || p.Names[0] != "axpy" || p.Names[1] != "dot.partial" {
+		t.Fatalf("Names = %v", p.Names)
+	}
+	if len(p.Phases) != 1 || p.Phases[0] != "cg.step" {
+		t.Fatalf("Phases = %v", p.Phases)
+	}
+	if !p.Active() {
+		t.Fatal("parsed plan should be active")
+	}
+}
+
+func TestFaultParsePlanEmptyAndErrors(t *testing.T) {
+	if p, err := ParsePlan("   "); err != nil || p.Active() {
+		t.Fatalf("empty spec: plan %+v, err %v", p, err)
+	}
+	for _, bad := range []string{
+		"panic",          // not key=value
+		"panic=lots",     // bad float
+		"bogus=1",        // unknown key
+		"panic=0.9,nan=0.9", // rates sum past 1
+		"panic=-0.1",     // negative rate
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -42,16 +42,20 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		if cat == "" {
 			cat = "task"
 		}
+		args := map[string]any{
+			"task":     s.ID,
+			"phase":    s.Phase,
+			"proc":     s.Proc,
+			"queue_us": s.QueueLatency() * usec,
+		}
+		if s.Outcome != OutcomeOK {
+			args["outcome"] = s.Outcome
+		}
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
 			Name: s.Name, Cat: cat, Ph: "X",
 			Ts: s.Start * usec, Dur: s.Duration() * usec,
 			Pid: 0, Tid: s.Worker,
-			Args: map[string]any{
-				"task":     s.ID,
-				"phase":    s.Phase,
-				"proc":     s.Proc,
-				"queue_us": s.QueueLatency() * usec,
-			},
+			Args: args,
 		})
 	}
 	// Name the process and each worker row.

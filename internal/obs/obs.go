@@ -25,7 +25,20 @@ type Span struct {
 	Worker int
 	// Launch, Start, End are seconds since the recorder's epoch.
 	Launch, Start, End float64
+	// Outcome classifies how the task ended: OutcomeOK (empty) for a
+	// clean run, OutcomeRetried for success after re-execution,
+	// OutcomeFailed for a permanent failure, OutcomePoisoned for a task
+	// cancelled because an upstream task failed (zero-duration span).
+	Outcome string
 }
+
+// Span outcome values.
+const (
+	OutcomeOK       = ""
+	OutcomeRetried  = "retried"
+	OutcomeFailed   = "failed"
+	OutcomePoisoned = "poisoned"
+)
 
 // Duration returns the span's execution time in seconds.
 func (s Span) Duration() float64 { return s.End - s.Start }
@@ -34,15 +47,31 @@ func (s Span) Duration() float64 { return s.End - s.Start }
 // execution in seconds.
 func (s Span) QueueLatency() float64 { return s.Start - s.Launch }
 
-// Failure records one failed (panicked) task for telemetry.
+// Failure records one task-failure event for telemetry: a panicked
+// attempt, a straggler flag, or a poisoned cancellation.
 type Failure struct {
 	// Task is the graph ID of the failed task.
 	Task int64
 	// Name and Phase identify what failed.
 	Name, Phase string
-	// Msg is the recovered panic value, stringified.
+	// Msg is the event detail (the recovered panic value for panics).
 	Msg string
+	// Kind classifies the event: FailurePanic (default for legacy
+	// records), FailureStraggler, or FailureCancelled.
+	Kind string
+	// Attempt is the zero-based execution attempt the event belongs to.
+	Attempt int
+	// Final marks the event that made the failure permanent (the attempt
+	// that exhausted the retry budget, or a cancellation).
+	Final bool
 }
+
+// Failure kinds.
+const (
+	FailurePanic     = "panic"
+	FailureStraggler = "straggler"
+	FailureCancelled = "cancelled"
+)
 
 // Recorder collects spans and failures from a concurrent execution. All
 // methods are safe for concurrent use; recording is one short critical

@@ -12,6 +12,7 @@ type BiCG struct {
 	r, rt, pv, pt, q, qt core.VecID
 	rho                  *core.Scalar
 	res                  *core.Scalar
+	bd                   breakdownFlag
 }
 
 // NewBiCG builds a BiCG solver on a finalized square system.
@@ -44,18 +45,24 @@ func (s *BiCG) Name() string { return "BiCG" }
 // ConvergenceMeasure implements Solver.
 func (s *BiCG) ConvergenceMeasure() *core.Scalar { return s.res }
 
+// Breakdown implements BreakdownChecker: it reports a vanished ρ or
+// p̃ᵀAp denominator (wrapping ErrBreakdown), or nil. Both breakdowns are
+// classic for BiCG — p̃ᵀAp = 0 happens at the first step on skew-
+// symmetric systems.
+func (s *BiCG) Breakdown() error { return s.bd.get() }
+
 // Step implements Solver: one BiCG iteration, entirely deferred.
 func (s *BiCG) Step() {
 	p := s.p
 	p.BeginPhase("bicg.step")
 	p.Matmul(s.q, s.pv)   // q = A p
 	p.MatmulT(s.qt, s.pt) // q̃ = Aᵀ p̃
-	alpha := p.Div(s.rho, p.Dot(s.pt, s.q))
+	alpha := guardedDiv(p, &s.bd, "bicg", "pt·Ap", s.rho, p.Dot(s.pt, s.q))
 	p.Axpy(core.SOL, alpha, s.pv)
 	p.Axpy(s.r, p.Neg(alpha), s.q)
 	p.Axpy(s.rt, p.Neg(alpha), s.qt)
 	rhoNew := p.Dot(s.rt, s.r)
-	beta := p.Div(rhoNew, s.rho)
+	beta := guardedDiv(p, &s.bd, "bicg", "rho", rhoNew, s.rho)
 	p.Xpay(s.pv, beta, s.r)
 	p.Xpay(s.pt, beta, s.rt)
 	s.rho = rhoNew

@@ -10,6 +10,7 @@ type BiCGStab struct {
 	t                 core.VecID
 	rho, alpha, omega *core.Scalar
 	res               *core.Scalar
+	bd                breakdownFlag
 }
 
 // NewBiCGStab builds a BiCGStab solver on a finalized square system.
@@ -41,21 +42,29 @@ func (s *BiCGStab) Name() string { return "BiCGStab" }
 // ConvergenceMeasure implements Solver.
 func (s *BiCGStab) ConvergenceMeasure() *core.Scalar { return s.res }
 
+// Breakdown implements BreakdownChecker: it reports a vanished ρ, ω, or
+// r̂ᵀv denominator (wrapping ErrBreakdown), or nil.
+func (s *BiCGStab) Breakdown() error { return s.bd.get() }
+
 // Step implements Solver: one BiCGStab iteration, entirely deferred.
 func (s *BiCGStab) Step() {
 	p := s.p
 	p.BeginPhase("bicgstab.step")
 	rho := p.Dot(s.rhat, s.r)
-	beta := p.Mul(p.Div(rho, s.rho), p.Div(s.alpha, s.omega))
+	// Breakdown-guarded divisions: ρ/ρ₋₁, α/ω, ρ/r̂ᵀv, and tᵀs/tᵀt all
+	// vanish on breakdown (ρ ≈ 0 or ω ≈ 0); the guards zero the
+	// coefficients and flag Breakdown instead of NaN-poisoning x and r.
+	beta := p.Mul(guardedDiv(p, &s.bd, "bicgstab", "rho", rho, s.rho),
+		guardedDiv(p, &s.bd, "bicgstab", "omega", s.alpha, s.omega))
 	// p = r + β(p − ω v)
 	p.Axpy(s.pv, p.Neg(s.omega), s.v)
 	p.Xpay(s.pv, beta, s.r)
 	p.Matmul(s.v, s.pv) // v = A p
-	alpha := p.Div(rho, p.Dot(s.rhat, s.v))
+	alpha := guardedDiv(p, &s.bd, "bicgstab", "rhat·v", rho, p.Dot(s.rhat, s.v))
 	// s (reusing r): r ← r − α v
 	p.Axpy(s.r, p.Neg(alpha), s.v)
 	p.Matmul(s.t, s.r) // t = A s
-	omega := p.Div(p.Dot(s.t, s.r), p.Dot(s.t, s.t))
+	omega := guardedDiv(p, &s.bd, "bicgstab", "t·t", p.Dot(s.t, s.r), p.Dot(s.t, s.t))
 	// x += α p + ω s
 	p.Axpy(core.SOL, alpha, s.pv)
 	p.Axpy(core.SOL, omega, s.r)

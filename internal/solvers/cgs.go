@@ -18,6 +18,7 @@ type CGS struct {
 	rho      *core.Scalar
 	k        int
 	res      *core.Scalar
+	bd       breakdownFlag
 }
 
 // NewCGS builds a CGS solver on a finalized square system.
@@ -48,6 +49,10 @@ func (s *CGS) Name() string { return "CGS" }
 // ConvergenceMeasure implements Solver.
 func (s *CGS) ConvergenceMeasure() *core.Scalar { return s.res }
 
+// Breakdown implements BreakdownChecker: it reports a vanished ρ or
+// r̃ᵀv̂ denominator (wrapping ErrBreakdown), or nil.
+func (s *CGS) Breakdown() error { return s.bd.get() }
+
 // Step implements Solver: one CGS iteration, entirely deferred.
 func (s *CGS) Step() {
 	p := s.p
@@ -57,7 +62,7 @@ func (s *CGS) Step() {
 		p.Copy(s.u, s.r)
 		p.Copy(s.pp, s.u)
 	} else {
-		beta := p.Div(rho, s.rho)
+		beta := guardedDiv(p, &s.bd, "cgs", "rho", rho, s.rho)
 		// u = r + β q
 		p.Copy(s.u, s.r)
 		p.Axpy(s.u, beta, s.q)
@@ -69,7 +74,7 @@ func (s *CGS) Step() {
 	}
 	s.k++
 	p.Matmul(s.vhat, s.pp) // v̂ = A p
-	alpha := p.Div(rho, p.Dot(s.rt, s.vhat))
+	alpha := guardedDiv(p, &s.bd, "cgs", "rt·v", rho, p.Dot(s.rt, s.vhat))
 	// q = u − α v̂
 	p.Copy(s.q, s.u)
 	p.Axpy(s.q, p.Neg(alpha), s.vhat)

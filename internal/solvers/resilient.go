@@ -1,0 +1,211 @@
+package solvers
+
+import (
+	"math"
+
+	"kdrsolvers/internal/core"
+)
+
+// ResilientConfig configures SolveResilient.
+type ResilientConfig struct {
+	// Tol is the residual tolerance.
+	Tol float64
+	// MaxIter bounds the total number of steps executed, across restarts.
+	MaxIter int
+	// CheckpointEvery is the number of iterations between checkpoints
+	// (default 10). Each checkpoint synchronizes, verifies the true
+	// residual is finite, and snapshots the solution vector.
+	CheckpointEvery int
+	// MaxRestarts is the restart budget (default 3; negative disables
+	// restarts). Each restart rolls the solution back to the last
+	// verified checkpoint and rebuilds the solver, re-running its
+	// residual initialization.
+	MaxRestarts int
+	// DivergeFactor triggers a restart when the residual exceeds this
+	// multiple of the best residual seen (default 1e8).
+	DivergeFactor float64
+	// Log, when non-nil, receives progress lines (checkpoints, restarts,
+	// recovery decisions).
+	Log func(format string, args ...any)
+}
+
+// ResilientResult extends Result with recovery accounting.
+type ResilientResult struct {
+	Result
+	// Restarts is the number of checkpoint rollbacks performed.
+	Restarts int
+	// Checkpoints is the number of verified checkpoints taken.
+	Checkpoints int
+	// RecoveredFailures is how many permanent task failures were absorbed
+	// by rolling back (runtime-level retries are counted by the runtime's
+	// own Stats.Retries, not here).
+	RecoveredFailures int64
+}
+
+// SolveResilient drives a solver to convergence in the presence of task
+// failures, silent data corruption, and divergence. It layers on top of
+// the runtime's retry/poison machinery:
+//
+//   - Every CheckpointEvery iterations it drains the runtime, recomputes
+//     the TRUE residual ‖b − Ax‖ (not the recurrence residual, which a
+//     corrupted scalar can lie about), and — if finite and not diverged —
+//     checkpoints the solution vector through the planner.
+//   - When the iteration's residual goes NaN/Inf (a poisoned future or
+//     injected corruption), diverges past DivergeFactor × best, or the
+//     method reports a Krylov breakdown, it restores the last checkpoint
+//     and rebuilds the solver with newSolver, which re-runs residualInit
+//     on the restored state — a bounded number of times (MaxRestarts).
+//
+// Any finite intermediate state is a legitimate restart point for the
+// Krylov methods here (they are stationary in x), which is why a verified
+// checkpoint needs only a finite true residual, not a consistent one.
+//
+// newSolver must build a fresh solver on p each call; p must be a real
+// (non-virtual), finalized planner.
+func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfig) ResilientResult {
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 10
+	}
+	if cfg.MaxRestarts < 0 {
+		cfg.MaxRestarts = 0
+	} else if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.DivergeFactor <= 0 {
+		cfg.DivergeFactor = 1e8
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rt := p.Runtime()
+
+	// Workspace for true-residual verification, reused across checks.
+	verify := p.AllocateWorkspace(core.RhsShape)
+	trueResidual := func() float64 {
+		p.BeginPhase("resilient.verify")
+		residualInit(p, verify)
+		rr := p.Dot(verify, verify)
+		return math.Sqrt(rr.Value())
+	}
+
+	var out ResilientResult
+	failedBase := rt.Stats().Failed
+
+	// Initial checkpoint: x0 as supplied. The evaluation itself can be hit
+	// by a fault, and x0 is trivially restorable (nothing has written to
+	// it), so a failed attempt is re-run like any other rollback, against
+	// the restart budget. Only a genuinely NaN input is unrecoverable.
+	p.Drain()
+	r0 := trueResidual()
+	p.Drain()
+	for attempt := 0; (math.IsNaN(r0) || math.IsInf(r0, 0)) && attempt <= cfg.MaxRestarts; attempt++ {
+		logf("resilient: initial residual is not finite; re-evaluating (attempt %d/%d)",
+			attempt+1, cfg.MaxRestarts+1)
+		r0 = trueResidual()
+		p.Drain()
+	}
+	if math.IsNaN(r0) || math.IsInf(r0, 0) {
+		out.Residual = r0
+		return out
+	}
+	ckpt := p.CheckpointSol()
+	out.Checkpoints++
+	best := r0
+	if r0 <= cfg.Tol {
+		out.Converged = true
+		out.Residual = r0
+		return out
+	}
+
+	iter := 0
+	for restart := 0; ; restart++ {
+		s := newSolver()
+		sinceCkpt := 0
+		bad := "" // non-empty when this leg must be abandoned
+
+	leg:
+		for iter < cfg.MaxIter {
+			s.Step()
+			iter++
+			sinceCkpt++
+			res := math.Sqrt(s.ConvergenceMeasure().Value())
+
+			switch {
+			case math.IsNaN(res) || math.IsInf(res, 0):
+				bad = "residual is not finite (task failure or corrupted data)"
+			case res > cfg.DivergeFactor*best:
+				bad = "residual diverged"
+			}
+			if bad == "" {
+				if bc, ok := s.(BreakdownChecker); ok {
+					if err := bc.Breakdown(); err != nil {
+						bad = err.Error()
+					}
+				}
+			}
+			if bad != "" {
+				break leg
+			}
+
+			if res <= cfg.Tol {
+				// Candidate convergence: trust only the true residual,
+				// recomputed from A, x, and b after a full drain.
+				p.Drain()
+				rn := trueResidual()
+				p.Drain()
+				if rn <= cfg.Tol {
+					out.Converged = true
+					out.Residual = rn
+					out.Iterations = iter
+					out.RecoveredFailures = rt.Stats().Failed - failedBase
+					return out
+				}
+				logf("resilient: recurrence residual %.3g but true residual %.3g; continuing", res, rn)
+				if math.IsNaN(rn) || math.IsInf(rn, 0) {
+					bad = "true residual is not finite"
+					break leg
+				}
+			}
+
+			if sinceCkpt >= cfg.CheckpointEvery {
+				p.Drain()
+				rn := trueResidual()
+				p.Drain()
+				if math.IsNaN(rn) || math.IsInf(rn, 0) || rn > cfg.DivergeFactor*best {
+					bad = "checkpoint verification failed"
+					break leg
+				}
+				ckpt = p.CheckpointSol()
+				out.Checkpoints++
+				sinceCkpt = 0
+				if rn < best {
+					best = rn
+				}
+				logf("resilient: checkpoint at iter %d, true residual %.3g", iter, rn)
+			}
+		}
+
+		out.Iterations = iter
+		out.RecoveredFailures = rt.Stats().Failed - failedBase
+		if bad == "" { // iteration budget exhausted
+			p.Drain()
+			out.Residual = trueResidual()
+			p.Drain()
+			return out
+		}
+		if restart >= cfg.MaxRestarts {
+			logf("resilient: %s; restart budget (%d) exhausted", bad, cfg.MaxRestarts)
+			out.Residual = best
+			if bc, ok := s.(BreakdownChecker); ok {
+				out.Breakdown = bc.Breakdown()
+			}
+			return out
+		}
+		logf("resilient: %s; rolling back to last checkpoint (restart %d/%d)",
+			bad, restart+1, cfg.MaxRestarts)
+		p.Drain()
+		p.RestoreSol(ckpt)
+		out.Restarts++
+	}
+}

@@ -16,8 +16,10 @@
 package solvers
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"kdrsolvers/internal/core"
 )
@@ -77,6 +79,64 @@ type Result struct {
 	Residual float64
 	// Converged reports whether the tolerance was reached.
 	Converged bool
+	// Breakdown is non-nil when the method hit a Krylov breakdown (a
+	// vanished recurrence denominator) and stopped cleanly at the last
+	// iterate instead of NaN-poisoning it. It wraps ErrBreakdown.
+	Breakdown error
+}
+
+// ErrBreakdown is the sentinel wrapped by every breakdown signal: a
+// recurrence denominator (ρ, ω, p̃ᵀAp, ...) vanished, so the method
+// cannot continue from this Krylov space. The iterate is left at its
+// last finite value; callers typically restart or switch methods.
+var ErrBreakdown = errors.New("solvers: Krylov breakdown")
+
+// BreakdownChecker is implemented by solvers that detect recurrence
+// breakdown (BiCG, BiCGStab, CGS). Breakdown returns nil until a guarded
+// denominator vanishes; Solve polls it every iteration and stops cleanly.
+type BreakdownChecker interface {
+	Breakdown() error
+}
+
+// breakdownFlag records the first breakdown observed by guarded scalar
+// tasks. Guards run inside runtime tasks, so the flag is locked.
+type breakdownFlag struct {
+	mu  sync.Mutex
+	err error
+}
+
+// report records the first breakdown cause; later reports are dropped.
+func (f *breakdownFlag) report(method, what string) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = fmt.Errorf("%w: %s: %s denominator vanished", ErrBreakdown, method, what)
+	}
+	f.mu.Unlock()
+}
+
+// get returns the recorded breakdown, or nil.
+func (f *breakdownFlag) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// guardedDiv returns a/b as a deferred scalar, guarding the BiCG-family
+// breakdown divisions: when the quotient is not finite (b ≈ 0, or a
+// poisoned NaN operand), the task records a breakdown on f and yields 0,
+// so the iteration's updates degenerate to no-ops instead of NaN-
+// poisoning every downstream vector. Every guard is upstream of the
+// residual dataflow within at most one iteration, so Solve's per-step
+// synchronization observes the flag on the step it fires or the next one.
+func guardedDiv(p *core.Planner, f *breakdownFlag, method, what string, a, b *core.Scalar) *core.Scalar {
+	return p.ScalarExpr("div.guard", func(v []float64) float64 {
+		q := v[0] / v[1]
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			f.report(method, what)
+			return 0
+		}
+		return q
+	}, a, b)
 }
 
 // Solve steps until the residual norm drops below tol or maxIter steps
@@ -92,6 +152,14 @@ func Solve(s Solver, tol float64, maxIter int) Result {
 		res = math.Sqrt(s.ConvergenceMeasure().Value())
 		if res <= tol || math.IsNaN(res) {
 			return Result{Iterations: i, Residual: res, Converged: res <= tol}
+		}
+		// Breakdown guards zero the step's coefficients, so the iterate is
+		// still finite; report the stagnation cleanly instead of spinning
+		// on a frozen residual until maxIter.
+		if bc, ok := s.(BreakdownChecker); ok {
+			if err := bc.Breakdown(); err != nil {
+				return Result{Iterations: i, Residual: res, Converged: false, Breakdown: err}
+			}
 		}
 	}
 	return Result{Iterations: maxIter, Residual: res, Converged: false}

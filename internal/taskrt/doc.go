@@ -23,4 +23,36 @@
 // still runs — the program is deterministic, so replayed graphs are
 // identical — but replayed tasks carry the lower memoized launch overhead
 // in the simulator.
+//
+// # Fault tolerance
+//
+// At the paper's target scale (256 nodes × 4 GPUs) task failures and
+// stragglers are routine, so the runtime degrades gracefully instead of
+// silently poisoning downstream data:
+//
+//   - A panicking task body is caught, never crashing the process. If the
+//     task is Retryable (its body is idempotent) and a RetryPolicy is set,
+//     the body is re-executed with backoff up to the attempt cap.
+//   - A permanent failure (retries exhausted, or not retryable) resolves
+//     the task's future to NaN with an error, and poisons its transitive
+//     successors: they are cancelled without executing their bodies, and
+//     their futures resolve to NaN with an error wrapping ErrPoisoned that
+//     names the root failure. No successor of a permanently failed task
+//     ever runs on garbage data.
+//   - A watchdog (SetWatchdog) flags tasks running past a wall-clock
+//     budget as stragglers in Stats and the attached obs.Recorder.
+//   - Failures, retries, cancellations, and straggler flags are counted in
+//     Stats and reported through the obs telemetry (span outcomes and
+//     failure records).
+//   - Deterministic fault injection (package fault, SetFaultInjector)
+//     exercises every one of these paths reproducibly.
+//
+// # Postcondition: Drain, then Err
+//
+// The documented way to finish a computation is to call Drain, which
+// blocks until every launched task has executed, retried, or been
+// cancelled, and then Err, which aggregates every distinct permanent task
+// failure into a single error (errors.Join) — nil means everything ran
+// (possibly after retries). Callers that need per-failure detail attach an
+// obs.Recorder; callers that need counts read Stats.
 package taskrt

@@ -6,11 +6,17 @@ import "sync"
 // Legion futures. Solvers receive dot products as futures and block only
 // when the value is actually needed, which lets independent vector work
 // launched earlier keep running.
+//
+// A future can complete in an error state: its producing task failed
+// permanently, or was cancelled because an upstream task failed (see
+// ErrPoisoned). Value then returns NaN so legacy numeric consumers see an
+// unmistakably invalid number; Err and Result expose the cause.
 type Future struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	done bool
 	val  float64
+	err  error
 }
 
 func newFuture() *Future {
@@ -19,17 +25,21 @@ func newFuture() *Future {
 	return f
 }
 
-// set delivers the value and wakes all waiters.
-func (f *Future) set(v float64) {
+// resolve delivers the value (and error state) and wakes all waiters.
+func (f *Future) resolve(v float64, err error) {
 	f.mu.Lock()
 	f.val = v
+	f.err = err
 	f.done = true
 	f.mu.Unlock()
 	f.cond.Broadcast()
 }
 
+// set delivers a successful value.
+func (f *Future) set(v float64) { f.resolve(v, nil) }
+
 // Value blocks until the producing task completes, then returns the
-// result.
+// result (NaN when the task failed or was poisoned).
 func (f *Future) Value() float64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -37,6 +47,30 @@ func (f *Future) Value() float64 {
 		f.cond.Wait()
 	}
 	return f.val
+}
+
+// Err blocks until the producing task completes, then returns its error
+// state: nil on success, the task's failure on permanent failure, or an
+// ErrPoisoned-wrapping error when the task was cancelled because an
+// upstream task failed.
+func (f *Future) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for !f.done {
+		f.cond.Wait()
+	}
+	return f.err
+}
+
+// Result blocks until the producing task completes, then returns both the
+// value and the error state.
+func (f *Future) Result() (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for !f.done {
+		f.cond.Wait()
+	}
+	return f.val, f.err
 }
 
 // Ready reports whether the value is already available.

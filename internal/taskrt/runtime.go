@@ -1,16 +1,24 @@
 package taskrt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"kdrsolvers/internal/fault"
 	"kdrsolvers/internal/index"
 	"kdrsolvers/internal/obs"
 	"kdrsolvers/internal/region"
 )
+
+// ErrPoisoned marks a task that never executed because a task it
+// transitively depends on failed permanently. Its future resolves to NaN
+// with an error wrapping ErrPoisoned and naming the root failure.
+var ErrPoisoned = errors.New("taskrt: task cancelled: upstream task failed")
 
 // TaskSpec describes one task launch.
 type TaskSpec struct {
@@ -33,6 +41,21 @@ type TaskSpec struct {
 	Run func() float64
 	// Host marks the task as host-side future arithmetic (see Node.Host).
 	Host bool
+	// Retryable declares the body idempotent: it fully overwrites its
+	// outputs and reads nothing it writes, so re-executing a failed
+	// attempt is safe. Only retryable tasks participate in the runtime's
+	// retry policy; a non-retryable failure is immediately permanent.
+	Retryable bool
+}
+
+// RetryPolicy bounds re-execution of retryable task bodies.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of execution attempts per retryable
+	// task (first run included). Values below 2 disable retry.
+	MaxAttempts int
+	// Backoff is the delay before re-execution, doubled each further
+	// attempt. Zero retries immediately.
+	Backoff time.Duration
 }
 
 // Stats counts runtime activity, exposed for tests and ablation studies.
@@ -47,10 +70,19 @@ type Stats struct {
 	// TraceReplays is the number of tasks launched inside a memoized
 	// trace.
 	TraceReplays int64
-	// Failed is the number of tasks whose body panicked. The first
-	// failure's detail is in Err; per-task failure records go to the
-	// attached obs.Recorder.
+	// Failed is the number of tasks that failed permanently (the body
+	// panicked and the retry budget, if any, was exhausted). Every
+	// permanent failure is aggregated into Err; per-attempt records go to
+	// the attached obs.Recorder.
 	Failed int64
+	// Retries is the number of re-execution attempts of retryable tasks.
+	Retries int64
+	// Poisoned is the number of tasks cancelled without executing because
+	// an upstream task failed permanently.
+	Poisoned int64
+	// Stragglers is the number of tasks flagged by the watchdog for
+	// exceeding the wall-clock budget.
+	Stragglers int64
 }
 
 // histKey identifies one field of one region in the dependence history.
@@ -70,16 +102,19 @@ type histEntry struct {
 // proc, and the recorder are copied out of the spec at launch so that
 // execution and failure reporting never need the runtime lock.
 type taskState struct {
-	id      int64
-	name    string
-	phase   string
-	proc    int
-	run     func() float64
-	future  *Future
-	pending int
-	succs   []*taskState
-	rec     *obs.Recorder
-	launch  float64 // recorder time at launch (valid when rec != nil)
+	id        int64
+	name      string
+	phase     string
+	proc      int
+	run       func() float64
+	future    *Future
+	pending   int
+	succs     []*taskState
+	rec       *obs.Recorder
+	launch    float64 // recorder time at launch (valid when rec != nil)
+	retryable bool
+	inj       fault.Injection
+	poison    error // set under rt.mu before the task becomes ready
 }
 
 // Runtime launches tasks, derives their dependence graph from region
@@ -90,19 +125,22 @@ type taskState struct {
 // Launch, Drain, BeginTrace, EndTrace, and Graph are safe for concurrent
 // use, though the usual client is a single solver goroutine.
 type Runtime struct {
-	mu      sync.Mutex
-	hist    map[histKey][]histEntry
-	tasks   map[int64]*taskState // incomplete tasks only
-	graph   Graph
-	stats   Stats
-	wg      sync.WaitGroup
-	workers chan int // pool of worker IDs; len = concurrency limit
-	traces  map[string]bool
-	replay  bool
-	tracing bool
-	err     error
-	rec     *obs.Recorder
-	phase   string
+	mu       sync.Mutex
+	hist     map[histKey][]histEntry
+	tasks    map[int64]*taskState // incomplete tasks only
+	graph    Graph
+	stats    Stats
+	wg       sync.WaitGroup
+	workers  chan int // pool of worker IDs; len = concurrency limit
+	traces   map[string]bool
+	replay   bool
+	tracing  bool
+	errs     []error // permanent task failures, in completion order
+	rec      *obs.Recorder
+	phase    string
+	retry    RetryPolicy
+	injector *fault.Injector
+	watchdog time.Duration
 }
 
 // New returns an empty runtime executing up to GOMAXPROCS tasks
@@ -122,9 +160,9 @@ func New() *Runtime {
 }
 
 // SetRecorder attaches an observability recorder: every task executed
-// from now on records a wall-clock span (launch, start, end, worker)
-// and failures are reported as telemetry. A nil recorder disables
-// recording. Tasks launched before the call are not back-filled.
+// from now on records a wall-clock span (launch, start, end, worker,
+// outcome) and failures are reported as telemetry. A nil recorder
+// disables recording. Tasks launched before the call are not back-filled.
 func (rt *Runtime) SetRecorder(r *obs.Recorder) {
 	rt.mu.Lock()
 	rt.rec = r
@@ -136,6 +174,36 @@ func (rt *Runtime) Recorder() *obs.Recorder {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.rec
+}
+
+// SetRetryPolicy bounds re-execution of retryable task bodies: a task
+// whose body panics is re-run (after backoff) until it succeeds or the
+// attempt cap is reached, at which point the failure becomes permanent.
+// The policy applies to tasks executed after the call.
+func (rt *Runtime) SetRetryPolicy(p RetryPolicy) {
+	rt.mu.Lock()
+	rt.retry = p
+	rt.mu.Unlock()
+}
+
+// SetFaultInjector installs a fault injector consulted once per launch,
+// under the launch lock, so a single-threaded launcher gets a
+// deterministic fault schedule. A nil injector disables injection.
+func (rt *Runtime) SetFaultInjector(in *fault.Injector) {
+	rt.mu.Lock()
+	rt.injector = in
+	rt.mu.Unlock()
+}
+
+// SetWatchdog flags tasks whose execution exceeds budget: Stats.Stragglers
+// is incremented and a "straggler" failure record goes to the attached
+// recorder. The task itself is not interrupted (goroutines cannot be
+// killed safely); the flag is the signal a scheduler or operator acts on.
+// A zero budget disables the watchdog.
+func (rt *Runtime) SetWatchdog(budget time.Duration) {
+	rt.mu.Lock()
+	rt.watchdog = budget
+	rt.mu.Unlock()
 }
 
 // SetPhase labels subsequently launched tasks with a solver-phase name
@@ -185,7 +253,10 @@ func (rt *Runtime) Launch(spec TaskSpec) *Future {
 
 	ts := &taskState{
 		id: id, name: spec.Name, phase: phase, proc: spec.Proc,
-		run: spec.Run, future: fut, rec: rt.rec,
+		run: spec.Run, future: fut, rec: rt.rec, retryable: spec.Retryable,
+	}
+	if rt.injector != nil {
+		ts.inj = rt.injector.Decide(spec.Name, phase)
 	}
 	if ts.rec != nil {
 		ts.launch = ts.rec.Now()
@@ -250,27 +321,124 @@ func (rt *Runtime) analyze(id int64, ref region.Ref, depBytes map[int64]int64) {
 	rt.hist[key] = append(kept, histEntry{task: id, subset: ref.Subset, priv: ref.Priv})
 }
 
-// execute runs one ready task and then releases its successors.
+// execute runs one ready task — or skips it when poisoned — and then
+// releases its successors.
 func (rt *Runtime) execute(ts *taskState) {
+	rt.mu.Lock()
+	poison := ts.poison
+	policy := rt.retry
+	budget := rt.watchdog
+	rt.mu.Unlock()
+
+	if poison != nil {
+		// Cancelled: the body never runs on garbage data. Record a
+		// zero-duration span so traces show the hole where the task
+		// would have been.
+		rt.mu.Lock()
+		rt.stats.Poisoned++
+		rt.mu.Unlock()
+		if ts.rec != nil {
+			now := ts.rec.Now()
+			ts.rec.Record(obs.Span{
+				ID: ts.id, Name: ts.name, Phase: ts.phase, Proc: ts.proc,
+				Worker: -1, Launch: ts.launch, Start: now, End: now,
+				Outcome: obs.OutcomePoisoned,
+			})
+			ts.rec.RecordFailure(obs.Failure{
+				Task: ts.id, Name: ts.name, Phase: ts.phase,
+				Kind: obs.FailureCancelled, Msg: poison.Error(), Final: true,
+			})
+		}
+		rt.complete(ts, math.NaN(), poison)
+		return
+	}
+
 	w := <-rt.workers
 	var start float64
 	if ts.rec != nil {
 		start = ts.rec.Now()
 	}
-	val := rt.runGuarded(ts)
+
+	var wd *time.Timer
+	if budget > 0 {
+		wd = time.AfterFunc(budget, func() { rt.flagStraggler(ts, budget) })
+	}
+
+	maxAttempts := 1
+	if ts.retryable && policy.MaxAttempts > 1 {
+		maxAttempts = policy.MaxAttempts
+	}
+	var val float64
+	var err error
+	outcome := obs.OutcomeOK
+	for attempt := 0; ; attempt++ {
+		val, err = rt.runGuarded(ts, attempt)
+		if err == nil {
+			if attempt > 0 {
+				outcome = obs.OutcomeRetried
+			}
+			break
+		}
+		final := attempt+1 >= maxAttempts
+		if ts.rec != nil {
+			ts.rec.RecordFailure(obs.Failure{
+				Task: ts.id, Name: ts.name, Phase: ts.phase,
+				Kind: obs.FailurePanic, Msg: err.Error(),
+				Attempt: attempt, Final: final,
+			})
+		}
+		if final {
+			outcome = obs.OutcomeFailed
+			val = math.NaN()
+			err = fmt.Errorf("taskrt: task %d (%s) failed after %d attempt(s): %v",
+				ts.id, ts.name, attempt+1, err)
+			rt.mu.Lock()
+			rt.stats.Failed++
+			rt.errs = append(rt.errs, err)
+			rt.mu.Unlock()
+			break
+		}
+		rt.mu.Lock()
+		rt.stats.Retries++
+		rt.mu.Unlock()
+		if policy.Backoff > 0 {
+			time.Sleep(policy.Backoff << attempt)
+		}
+	}
+	if wd != nil {
+		wd.Stop()
+	}
 	if ts.rec != nil {
 		ts.rec.Record(obs.Span{
 			ID: ts.id, Name: ts.name, Phase: ts.phase, Proc: ts.proc,
 			Worker: w, Launch: ts.launch, Start: start, End: ts.rec.Now(),
+			Outcome: outcome,
 		})
 	}
 	rt.workers <- w
-	ts.future.set(val)
+	rt.complete(ts, val, err)
+}
+
+// complete resolves the task's future, poisons and releases its
+// successors, and retires the task. A non-nil err marks the task as a
+// permanent failure (or an already-poisoned cancellation): every direct
+// successor is poisoned, and poison flows transitively because poisoned
+// successors complete with their own non-nil error.
+func (rt *Runtime) complete(ts *taskState, val float64, err error) {
+	ts.future.resolve(val, err)
 
 	rt.mu.Lock()
 	delete(rt.tasks, ts.id)
 	var ready []*taskState
 	for _, s := range ts.succs {
+		if err != nil && s.poison == nil {
+			if errors.Is(err, ErrPoisoned) {
+				s.poison = err // keep the root failure visible transitively
+			} else {
+				s.poison = fmt.Errorf("%w (root: task %d %s: %v)",
+					ErrPoisoned, ts.id, ts.name, err)
+			}
+		}
 		s.pending--
 		if s.pending == 0 {
 			ready = append(ready, s)
@@ -284,43 +452,64 @@ func (rt *Runtime) execute(ts *taskState) {
 	rt.wg.Done()
 }
 
-// runGuarded executes the task body, converting a panic into a recorded
-// runtime error so one faulty kernel cannot crash the process or
-// deadlock future waiters. Failed tasks deliver NaN.
-func (rt *Runtime) runGuarded(ts *taskState) (val float64) {
-	if ts.run == nil {
-		return 0
+// flagStraggler records that a task blew its wall-clock budget. It runs
+// on the watchdog timer's goroutine, concurrently with the task.
+func (rt *Runtime) flagStraggler(ts *taskState, budget time.Duration) {
+	rt.mu.Lock()
+	rt.stats.Stragglers++
+	rt.mu.Unlock()
+	if ts.rec != nil {
+		ts.rec.RecordFailure(obs.Failure{
+			Task: ts.id, Name: ts.name, Phase: ts.phase,
+			Kind: obs.FailureStraggler,
+			Msg:  fmt.Sprintf("running past the %v wall-clock budget", budget),
+		})
 	}
-	defer func() {
-		if r := recover(); r != nil {
-			val = math.NaN()
-			if ts.rec != nil {
-				ts.rec.RecordFailure(obs.Failure{
-					Task: ts.id, Name: ts.name, Phase: ts.phase,
-					Msg: fmt.Sprint(r),
-				})
-			}
-			rt.mu.Lock()
-			rt.stats.Failed++
-			if rt.err == nil {
-				rt.err = fmt.Errorf("taskrt: task %d (%s) panicked: %v", ts.id, ts.name, r)
-			}
-			rt.mu.Unlock()
-		}
-	}()
-	return ts.run()
 }
 
-// Drain blocks until every launched task has completed.
+// runGuarded executes one attempt of the task body, applying any injected
+// fault and converting a panic into an error so one faulty kernel cannot
+// crash the process or deadlock future waiters.
+func (rt *Runtime) runGuarded(ts *taskState, attempt int) (val float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = math.NaN(), fmt.Errorf("panic: %v", r)
+		}
+	}()
+	inj := ts.inj
+	if attempt > 0 && !inj.Sticky {
+		inj = fault.Injection{} // transient fault: the retry runs clean
+	}
+	switch inj.Kind {
+	case fault.Stall:
+		time.Sleep(inj.Stall)
+	case fault.Panic:
+		panic(fmt.Sprintf("fault injected (task %d %s, attempt %d)", ts.id, ts.name, attempt))
+	}
+	if ts.run != nil {
+		val = ts.run()
+	}
+	if inj.Kind == fault.NaN {
+		val = math.NaN() // silent result corruption; no error is raised
+	}
+	return val, nil
+}
+
+// Drain blocks until every launched task has completed, executed,
+// retried, or been cancelled. After Drain, Err reports the aggregate
+// failure state of everything launched so far — "Drain then Err" is the
+// runtime's postcondition check.
 func (rt *Runtime) Drain() { rt.wg.Wait() }
 
-// Err returns the first task failure, if any. Successors of a failed task
-// still run (typically on NaN-poisoned data); callers that care should
-// check Err after Drain.
+// Err returns every distinct permanent task failure joined into one error
+// (errors.Join), or nil if nothing has failed. Failures recovered by
+// retry do not appear; cancelled successors are counted in
+// Stats.Poisoned but not repeated here — the root failure already is.
+// Call Drain first for a complete picture.
 func (rt *Runtime) Err() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.err
+	return errors.Join(rt.errs...)
 }
 
 // Graph returns a snapshot of the recorded task graph. Call Drain first

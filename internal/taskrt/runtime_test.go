@@ -1,6 +1,7 @@
 package taskrt
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -431,18 +432,25 @@ func TestPanickingTaskIsCaptured(t *testing.T) {
 		Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadWrite)},
 		Run:  func() float64 { panic("kernel bug") },
 	})
-	// A dependent task must still run (on poisoned data).
+	// A dependent task must NOT run its body: the failure poisons it.
+	ran := false
 	after := rt.Launch(TaskSpec{
 		Name: "after",
 		Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadOnly)},
-		Run:  func() float64 { return 1 },
+		Run:  func() float64 { ran = true; return 1 },
 	})
 	rt.Drain()
 	if !math.IsNaN(bad.Value()) {
 		t.Fatalf("failed task future = %g, want NaN", bad.Value())
 	}
-	if after.Value() != 1 {
-		t.Fatal("successor did not run")
+	if ran {
+		t.Fatal("successor of a failed task must not execute its body")
+	}
+	if !math.IsNaN(after.Value()) {
+		t.Fatalf("poisoned future = %g, want NaN", after.Value())
+	}
+	if !errors.Is(after.Err(), ErrPoisoned) {
+		t.Fatalf("poisoned future Err = %v, want ErrPoisoned", after.Err())
 	}
 	err := rt.Err()
 	if err == nil || !strings.Contains(err.Error(), "explode") || !strings.Contains(err.Error(), "kernel bug") {
