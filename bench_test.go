@@ -269,25 +269,39 @@ func BenchmarkProjections(b *testing.B) {
 }
 
 // BenchmarkRuntimeLaunch measures the real task runtime: launch + analysis
-// + scheduling throughput for a CG-shaped dependence pattern.
+// + scheduling throughput for a CG-shaped dependence pattern, with the
+// dependence analysis run in full every iteration ("replay=off") and
+// memoized by trace replay ("replay=on"). The replay=on case warms the
+// trace through record and calibrate before the timer starts, so the
+// timed region is pure steady-state splicing.
 func BenchmarkRuntimeLaunch(b *testing.B) {
 	m := machine.Lassen(1)
 	a := sparse.Laplacian2D(64, 64)
 	n := a.Domain().Size()
-	b.Run("cg-step-real", func(b *testing.B) {
-		p := core.NewPlanner(core.Config{Machine: m})
-		si := p.AddSolVector(make([]float64, n), index.EqualPartition(index.NewSpace("D", n), 4))
-		ri := p.AddRHSVector(make([]float64, n), index.EqualPartition(index.NewSpace("R", n), 4))
-		p.AddOperator(a, si, ri)
-		p.Finalize()
-		s := solvers.NewCG(p)
-		p.Drain()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			s.Step()
+	for _, tracing := range []bool{false, true} {
+		name := "cg-step-real/replay=off"
+		if tracing {
+			name = "cg-step-real/replay=on"
 		}
-		p.Drain()
-	})
+		b.Run(name, func(b *testing.B) {
+			p := core.NewPlanner(core.Config{Machine: m})
+			si := p.AddSolVector(make([]float64, n), index.EqualPartition(index.NewSpace("D", n), 4))
+			ri := p.AddRHSVector(make([]float64, n), index.EqualPartition(index.NewSpace("R", n), 4))
+			p.AddOperator(a, si, ri)
+			p.Finalize()
+			p.SetTracing(tracing)
+			s := solvers.NewCG(p)
+			for i := 0; i < 3; i++ {
+				s.Step() // warm: record, calibrate, first replay
+			}
+			p.Drain()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			p.Drain()
+		})
+	}
 }
 
 // BenchmarkSimulator measures discrete-event simulation throughput on a

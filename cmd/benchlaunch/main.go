@@ -1,0 +1,168 @@
+// Command benchlaunch runs the runtime-launch and SpMV benchmarks the CI
+// bench job tracks and writes the results as JSON (ns/op plus the
+// trace-memoization counters that justify them). It exists so benchmark
+// numbers land in a machine-readable artifact instead of scrolling away
+// in a CI log:
+//
+//	go run ./cmd/benchlaunch -o BENCH_pr4.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"kdrsolvers/internal/core"
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/solvers"
+	"kdrsolvers/internal/sparse"
+)
+
+// launchResult is one runtime-launch configuration's measurement.
+type launchResult struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// AnalysisScansPerIter is the number of dependence-history entries
+	// scanned per CG iteration in steady state (0 when replay is on).
+	AnalysisScansPerIter float64 `json:"analysis_scans_per_iter"`
+	// TraceHits is the number of fully replayed trace instances during
+	// the steady-state counting run.
+	TraceHits int64 `json:"trace_hits"`
+	// LaunchNsAnalyzed/LaunchNsSpliced are the mean wall costs of one
+	// Launch call on each path, from the runtime's own timers.
+	LaunchNsAnalyzed float64 `json:"launch_ns_analyzed"`
+	LaunchNsSpliced  float64 `json:"launch_ns_spliced,omitempty"`
+}
+
+type spmvResult struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	MBPerS  float64 `json:"mb_per_s"`
+}
+
+type report struct {
+	RuntimeLaunch map[string]launchResult `json:"runtime_launch"`
+	SpMVFormats   map[string]spmvResult   `json:"spmv_formats"`
+}
+
+// cgPlanner builds the same real (non-virtual) CG setup
+// BenchmarkRuntimeLaunch uses.
+func cgPlanner(tracing bool) (*core.Planner, solvers.Solver) {
+	a := sparse.Laplacian2D(64, 64)
+	n := a.Domain().Size()
+	p := core.NewPlanner(core.Config{Machine: machine.Lassen(1)})
+	si := p.AddSolVector(make([]float64, n), index.EqualPartition(index.NewSpace("D", n), 4))
+	ri := p.AddRHSVector(make([]float64, n), index.EqualPartition(index.NewSpace("R", n), 4))
+	p.AddOperator(a, si, ri)
+	p.Finalize()
+	p.SetTracing(tracing)
+	return p, solvers.NewCG(p)
+}
+
+func measureLaunch(tracing bool) launchResult {
+	// Deterministic counting run: steady-state scans and hits per
+	// iteration over a fixed window, after record+calibrate warmup.
+	const window = 50
+	p, s := cgPlanner(tracing)
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	p.Drain()
+	before := p.Runtime().Stats()
+	for i := 0; i < window; i++ {
+		s.Step()
+	}
+	p.Drain()
+	after := p.Runtime().Stats()
+
+	// Timed run, fresh planner so the benchmark harness controls N.
+	bres := testing.Benchmark(func(b *testing.B) {
+		p, s := cgPlanner(tracing)
+		for i := 0; i < 3; i++ {
+			s.Step()
+		}
+		p.Drain()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+		p.Drain()
+	})
+
+	analyzed, spliced := p.Runtime().LaunchTiming()
+	res := launchResult{
+		NsPerOp:              float64(bres.NsPerOp()),
+		AnalysisScansPerIter: float64(after.AnalysisScans-before.AnalysisScans) / window,
+		TraceHits:            after.TraceHits - before.TraceHits,
+		LaunchNsAnalyzed:     float64(analyzed.Mean().Nanoseconds()),
+	}
+	if spliced.Count > 0 {
+		res.LaunchNsSpliced = float64(spliced.Mean().Nanoseconds())
+	}
+	return res
+}
+
+func measureSpMV() map[string]spmvResult {
+	csr := sparse.Laplacian2D(64, 64)
+	n := csr.Domain().Size()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) + 0.5
+	}
+	out := make(map[string]spmvResult, len(sparse.Formats)+1)
+	bench := func(name string, nnz int64, mul func()) {
+		bres := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(nnz * 16)
+			for i := 0; i < b.N; i++ {
+				mul()
+			}
+		})
+		ns := float64(bres.NsPerOp())
+		out[name] = spmvResult{
+			NsPerOp: ns,
+			MBPerS:  float64(nnz*16) / ns * 1e9 / 1e6,
+		}
+	}
+	for _, f := range sparse.Formats {
+		mat := sparse.Convert(csr, f)
+		bench(f, mat.NNZ(), func() { mat.MultiplyAdd(y, x) })
+	}
+	op := sparse.NewStencilOperator(sparse.Stencil2D5, index.NewGrid(64, 64))
+	bench("MatrixFree", op.NNZ(), func() { op.MultiplyAdd(y, x) })
+	return out
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pr4.json", "output file ('-' for stdout)")
+	flag.Parse()
+
+	rep := report{
+		RuntimeLaunch: map[string]launchResult{
+			"replay_off": measureLaunch(false),
+			"replay_on":  measureLaunch(true),
+		},
+		SpMVFormats: measureSpMV(),
+	}
+	if on, off := rep.RuntimeLaunch["replay_on"], rep.RuntimeLaunch["replay_off"]; on.NsPerOp >= off.NsPerOp {
+		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: replay_on (%.0f ns/op) not faster than replay_off (%.0f ns/op)\n",
+			on.NsPerOp, off.NsPerOp)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchlaunch:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchlaunch:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

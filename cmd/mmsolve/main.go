@@ -55,6 +55,7 @@ func main() {
 	pieces := flag.Int("pieces", 8, "vector pieces")
 	rhs := flag.String("rhs", "Aones", "right-hand side: 'Aones' (b = A·1) or 'ones' (b = 1)")
 	profile := flag.Bool("profile", false, "record task timings; print per-iteration telemetry and a per-task breakdown")
+	trace := flag.Bool("trace", true, "memoize dependence analysis of repeated solver iterations (trace replay)")
 	traceOut := flag.String("trace-out", "", "write recorded task spans as a Chrome trace to this file (implies -profile)")
 	faults := flag.String("faults", "", "fault-injection plan, e.g. 'panic=0.01,seed=1' (see internal/fault)")
 	retries := flag.Int("retries", 0, "execution attempts per idempotent task (0 or 1 disables retry)")
@@ -115,6 +116,7 @@ func main() {
 		p.AddPreconditioner(precond.Jacobi(a), si, ri)
 	}
 	p.Finalize()
+	p.SetTracing(*trace)
 
 	var rec *obs.Recorder
 	if *profile {
@@ -161,6 +163,15 @@ func main() {
 	elapsed := time.Since(start)
 
 	st := rt.Stats()
+	if *trace {
+		analyzed, spliced := rt.LaunchTiming()
+		fmt.Printf("tracing: %d replayed / %d analyzed launches; instances %d hit / %d miss (%d fallbacks)\n",
+			st.TraceReplays, st.Launched-st.TraceReplays, st.TraceHits, st.TraceMisses, st.TraceFallbacks)
+		if spliced.Count > 0 {
+			fmt.Printf("tracing: launch cost %v analyzed vs %v replayed (mean)\n",
+				analyzed.Mean(), spliced.Mean())
+		}
+	}
 	if injector != nil || st.Failed > 0 || st.Retries > 0 || st.Stragglers > 0 {
 		fmt.Printf("faults: injected %d; tasks failed %d, retried %d, poisoned %d, stragglers %d\n",
 			injectedCount(injector), st.Failed, st.Retries, st.Poisoned, st.Stragglers)

@@ -105,6 +105,8 @@ type Planner struct {
 	finalized bool
 	colorBase int
 	scalarSeq int
+	tracing   bool
+	traceOpen bool
 }
 
 // NewPlanner returns an empty planner running on a fresh task runtime.
@@ -133,6 +135,48 @@ func (p *Planner) Runtime() *taskrt.Runtime { return p.rt }
 // solver-level grouping on top of task names. An empty label clears the
 // tag.
 func (p *Planner) BeginPhase(label string) { p.rt.SetPhase(label) }
+
+// SetTracing turns trace memoization on or off for solvers driving this
+// planner: when on, solver iteration loops bracket each iteration (or
+// GMRES restart cycle) in a runtime trace scope, so the dependence
+// analysis of repeated launch sequences is memoized and replayed. Off by
+// default; flipping it costs nothing for correctness either way — a
+// wrongly scoped trace falls back to full analysis automatically.
+func (p *Planner) SetTracing(on bool) { p.tracing = on }
+
+// Tracing reports whether trace memoization is enabled.
+func (p *Planner) Tracing() bool { return p.tracing }
+
+// TraceBegin opens a runtime trace scope under the given key when
+// tracing is enabled, reporting whether it did. Solvers call it at the
+// top of a repeated launch sequence and hand the result to TraceEnd:
+//
+//	in := p.TraceBegin("cg.step")
+//	defer p.TraceEnd(in)
+//
+// A scope still open from an abandoned sequence — a GMRES solve that
+// converged mid-restart-cycle — is closed first; the runtime treats the
+// short instance as a miss and re-records, so abandonment costs only
+// performance.
+func (p *Planner) TraceBegin(key string) bool {
+	if !p.tracing {
+		return false
+	}
+	if p.traceOpen {
+		p.rt.EndTrace()
+	}
+	p.rt.BeginTrace(key)
+	p.traceOpen = true
+	return true
+}
+
+// TraceEnd closes the trace scope TraceBegin opened, if it opened one.
+func (p *Planner) TraceEnd(began bool) {
+	if began && p.traceOpen {
+		p.rt.EndTrace()
+		p.traceOpen = false
+	}
+}
 
 // EnableProfiling attaches a fresh observability recorder to the
 // runtime and returns it: from now on every executed task records real

@@ -12,8 +12,6 @@
 package figures
 
 import (
-	"fmt"
-
 	"kdrsolvers/internal/baseline"
 	"kdrsolvers/internal/core"
 	"kdrsolvers/internal/index"
@@ -21,7 +19,6 @@ import (
 	"kdrsolvers/internal/sim"
 	"kdrsolvers/internal/solvers"
 	"kdrsolvers/internal/sparse"
-	"kdrsolvers/internal/taskrt"
 )
 
 // Runtime overhead constants of the KDR (Legion-like) dynamic runtime.
@@ -69,31 +66,16 @@ func stencilPlanner(m machine.Machine, kind sparse.StencilKind, n int64, vp int)
 	return p
 }
 
-// stepper returns the per-iteration step function for a solver, wrapping
-// each step in a memoized trace when tracing is on. GMRES's inner steps
-// differ structurally by restart phase; the trace key cycles accordingly
-// so replays match recordings.
-func stepper(rt *taskrt.Runtime, s solvers.Solver, solverName string, opt KDROptions) func(i int) {
-	if !opt.Tracing {
-		return func(int) { s.Step() }
-	}
-	return func(i int) {
-		key := solverName
-		if solverName == "gmres" {
-			key = fmt.Sprintf("gmres-%d", i%10)
-		}
-		rt.BeginTrace(key)
-		s.Step()
-		rt.EndTrace()
-	}
-}
-
 // MeasurePlanner runs warmup then timed iterations of a solver on an
 // already-finalized planner and reports marginal per-iteration cost under
-// the simulator.
+// the simulator. With opt.Tracing the solvers bracket their own repeated
+// launch sequences (each step, or each GMRES restart cycle) in runtime
+// trace scopes, so warmup doubles as trace record-and-calibrate and the
+// timed iterations replay memoized dependence analysis.
 func MeasurePlanner(p *core.Planner, solverName string, warmup, timed int, opt KDROptions) Measurement {
+	p.SetTracing(opt.Tracing)
 	s := solvers.New(solverName, p)
-	step := stepper(p.Runtime(), s, solverName, opt)
+	step := func(int) { s.Step() }
 	for i := 0; i < warmup; i++ {
 		step(i)
 	}

@@ -33,10 +33,10 @@ func CaptureSchedule(m machine.Machine, kind sparse.StencilKind, n int64, solver
 		vp = m.NumProcs()
 	}
 	p := stencilPlanner(m, kind, n, vp)
+	p.SetTracing(opt.Tracing)
 	s := solvers.New(solverName, p)
-	step := stepper(p.Runtime(), s, solverName, opt)
 	for i := 0; i < iters; i++ {
-		step(i)
+		s.Step()
 	}
 	p.Drain()
 	g := p.Runtime().Graph()

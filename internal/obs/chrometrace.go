@@ -17,8 +17,11 @@ type traceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
+	Ts  float64 `json:"ts"`
+	// Dur must not be omitempty: poisoned/cancelled tasks record
+	// zero-duration "X" events, and an X event without a dur field is
+	// rendered as garbage (or dropped) by Chrome-trace consumers.
+	Dur float64 `json:"dur"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
@@ -69,9 +72,15 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		Args: map[string]any{"name": "kdrsolvers"},
 	}}
 	for _, id := range ids {
+		// Worker -1 is the synthetic row for tasks cancelled by poison
+		// propagation — they never ran on a real worker.
+		name := fmt.Sprintf("worker %d", id)
+		if id < 0 {
+			name = "cancelled"
+		}
 		meta = append(meta, traceEvent{
 			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
-			Args: map[string]any{"name": fmt.Sprintf("worker %d", id)},
+			Args: map[string]any{"name": name},
 		})
 	}
 	tf.TraceEvents = append(meta, tf.TraceEvents...)

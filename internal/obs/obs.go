@@ -167,3 +167,23 @@ func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
 
 // Count returns the number of observed sections.
 func (t *Timer) Count() int64 { return t.count.Load() }
+
+// TimerSnapshot is a point-in-time copy of a Timer, safe to pass around
+// after the timer keeps accumulating.
+type TimerSnapshot struct {
+	Total time.Duration
+	Count int64
+}
+
+// Snapshot returns the timer's current totals.
+func (t *Timer) Snapshot() TimerSnapshot {
+	return TimerSnapshot{Total: time.Duration(t.ns.Load()), Count: t.count.Load()}
+}
+
+// Mean returns the average observed duration, or 0 with no observations.
+func (s TimerSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}

@@ -20,6 +20,13 @@ type ID int64
 
 var nextID atomic.Int64
 
+// LastID returns the most recently assigned region ID. IDs are assigned
+// from a process-wide monotonic counter, so a region r was created after
+// a call to LastID exactly when r.ID() > the returned watermark — the
+// property trace memoization uses to tell iteration-scoped scratch
+// regions from long-lived ones.
+func LastID() ID { return ID(nextID.Load()) }
+
 // A Region is a logical region: an index space paired with a set of named
 // float64 fields and a physical structure-of-arrays instance backing them.
 type Region struct {

@@ -55,6 +55,7 @@ func (s *BiCG) Breakdown() error { return s.bd.get() }
 func (s *BiCG) Step() {
 	p := s.p
 	p.BeginPhase("bicg.step")
+	defer p.TraceEnd(p.TraceBegin("bicg.step"))
 	p.Matmul(s.q, s.pv)   // q = A p
 	p.MatmulT(s.qt, s.pt) // q̃ = Aᵀ p̃
 	alpha := guardedDiv(p, &s.bd, "bicg", "pt·Ap", s.rho, p.Dot(s.pt, s.q))

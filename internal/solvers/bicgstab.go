@@ -50,6 +50,7 @@ func (s *BiCGStab) Breakdown() error { return s.bd.get() }
 func (s *BiCGStab) Step() {
 	p := s.p
 	p.BeginPhase("bicgstab.step")
+	defer p.TraceEnd(p.TraceBegin("bicgstab.step"))
 	rho := p.Dot(s.rhat, s.r)
 	// Breakdown-guarded divisions: ρ/ρ₋₁, α/ω, ρ/r̂ᵀv, and tᵀs/tᵀt all
 	// vanish on breakdown (ρ ≈ 0 or ω ≈ 0); the guards zero the

@@ -40,6 +40,7 @@ func (s *CG) ConvergenceMeasure() *core.Scalar { return s.res }
 func (s *CG) Step() {
 	p := s.p
 	p.BeginPhase("cg.step")
+	defer p.TraceEnd(p.TraceBegin("cg.step"))
 	p.Matmul(s.q, s.pv)            // q = A p
 	pq := p.Dot(s.pv, s.q)         // pᵀAp
 	alpha := p.Div(s.res, pq)      // α = res / pᵀAp

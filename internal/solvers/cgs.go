@@ -57,6 +57,7 @@ func (s *CGS) Breakdown() error { return s.bd.get() }
 func (s *CGS) Step() {
 	p := s.p
 	p.BeginPhase("cgs.step")
+	defer p.TraceEnd(p.TraceBegin("cgs.step"))
 	rho := p.Dot(s.rt, s.r)
 	if s.k == 0 {
 		p.Copy(s.u, s.r)

@@ -67,6 +67,7 @@ func (s *Chebyshev) ConvergenceMeasure() *core.Scalar {
 func (s *Chebyshev) Step() {
 	p := s.p
 	p.BeginPhase("chebyshev.step")
+	defer p.TraceEnd(p.TraceBegin("chebyshev.step"))
 	p.AxpyConst(core.SOL, 1, s.d)
 	p.Matmul(s.z, s.d)
 	p.AxpyConst(s.r, -1, s.z)

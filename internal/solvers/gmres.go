@@ -25,6 +25,11 @@ type GMRES struct {
 	beta  *core.Scalar     // ‖r₀‖ at cycle start
 	j     int              // next column within the cycle
 	res   *core.Scalar
+	// tr is true while a per-cycle trace scope is open. GMRES traces the
+	// whole restart cycle (m Arnoldi steps + least-squares update +
+	// restart) as one instance: per-step scopes would never replay
+	// because each Arnoldi step has a different Gram-Schmidt depth.
+	tr bool
 }
 
 // NewGMRES builds a GMRES solver with restart length m on a finalized
@@ -69,6 +74,9 @@ func (s *GMRES) ConvergenceMeasure() *core.Scalar { return s.res }
 func (s *GMRES) Step() {
 	p := s.p
 	p.BeginPhase("gmres.arnoldi")
+	if s.j == 0 {
+		s.tr = p.TraceBegin("gmres.cycle")
+	}
 	j := s.j
 	// w = A v_j, then modified Gram-Schmidt against v₀ … v_j.
 	p.Matmul(s.w, s.basis[j])
@@ -95,6 +103,10 @@ func (s *GMRES) Step() {
 		if hv <= 1e-14*(1+math.Abs(s.beta.Value())) {
 			s.finishCycle()
 			s.restart()
+			// A short (happy-breakdown) cycle closes its scope too; the
+			// runtime records it as a miss and re-records the template.
+			p.TraceEnd(s.tr)
+			s.tr = false
 			return
 		}
 	}
@@ -105,6 +117,8 @@ func (s *GMRES) Step() {
 	if s.j == s.m {
 		s.finishCycle()
 		s.restart()
+		p.TraceEnd(s.tr)
+		s.tr = false
 	}
 }
 

@@ -76,6 +76,7 @@ func safeInv(x float64) float64 {
 func (s *MINRES) Step() {
 	p := s.p
 	p.BeginPhase("minres.step")
+	defer p.TraceEnd(p.TraceBegin("minres.step"))
 	s.k++
 
 	// v = r2/β; y = A v.

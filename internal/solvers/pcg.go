@@ -50,6 +50,7 @@ func (s *PCG) ConvergenceMeasure() *core.Scalar { return s.res }
 func (s *PCG) Step() {
 	p := s.p
 	p.BeginPhase("pcg.step")
+	defer p.TraceEnd(p.TraceBegin("pcg.step"))
 	p.Matmul(s.q, s.pv)
 	alpha := p.Div(s.rz, p.Dot(s.pv, s.q))
 	p.Axpy(core.SOL, alpha, s.pv)

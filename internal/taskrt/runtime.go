@@ -54,8 +54,38 @@ type RetryPolicy struct {
 	// task (first run included). Values below 2 disable retry.
 	MaxAttempts int
 	// Backoff is the delay before re-execution, doubled each further
-	// attempt. Zero retries immediately.
+	// attempt. Zero retries immediately. The doubling is clamped (see
+	// backoffDelay) so a large attempt budget cannot overflow the delay
+	// into a huge or negative sleep.
 	Backoff time.Duration
+}
+
+// maxBackoffDelay caps one retry sleep. Doubling stops here; an
+// explicitly larger configured base Backoff is honored as-is.
+const maxBackoffDelay = 30 * time.Second
+
+// backoffDelay returns the clamped exponential-backoff delay before
+// re-executing attempt+1: base doubled per completed attempt, capped so
+// the shift can neither overflow time.Duration nor grow past
+// maxBackoffDelay (or past the configured base, whichever is larger).
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	cap := maxBackoffDelay
+	if base > cap {
+		cap = base
+	}
+	// 2^30 × 1ns is already over a second; anything beyond the cap — and
+	// any overflowed (non-positive) shift — clamps.
+	if attempt > 30 {
+		return cap
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > cap {
+		return cap
+	}
+	return d
 }
 
 // Stats counts runtime activity, exposed for tests and ablation studies.
@@ -65,11 +95,18 @@ type Stats struct {
 	// DepEdges is the number of dependence edges discovered.
 	DepEdges int64
 	// AnalysisScans is the number of history entries examined by the
-	// interference analysis.
+	// interference analysis. Launches spliced from a memoized trace
+	// perform no interference analysis and contribute nothing here.
 	AnalysisScans int64
-	// TraceReplays is the number of tasks launched inside a memoized
-	// trace.
+	// TraceReplays is the number of task launches spliced from a
+	// memoized trace template instead of analyzed.
 	TraceReplays int64
+	// TraceHits counts trace instances replayed end to end from a
+	// memoized template; TraceMisses counts instances that ran under
+	// full analysis (recording, calibrating, or after a gap), and
+	// TraceFallbacks counts instances that started replaying but hit a
+	// fingerprint mismatch and fell back to analysis mid-instance.
+	TraceHits, TraceMisses, TraceFallbacks int64
 	// Failed is the number of tasks that failed permanently (the body
 	// panicked and the retry budget, if any, was exhausted). Every
 	// permanent failure is aggregated into Err; per-attempt records go to
@@ -98,6 +135,114 @@ type histEntry struct {
 	priv   region.Privilege
 }
 
+// histShard holds one histKey's slice of the dependence history behind
+// its own lock, so the interval-set work of concurrent launches on
+// different keys proceeds in parallel instead of serializing on the
+// global runtime mutex. Per-key work must still happen in task-ID order
+// (dependences may only point backward); tickets enforce that: Launch
+// enqueues the task's ID under the runtime lock (so queue order is ID
+// order) and the analysis phase waits until its ticket reaches the
+// head. A task waits only on smaller IDs, which never wait on larger
+// ones, so the protocol cannot deadlock.
+type histShard struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	tickets []int64
+	entries []histEntry
+}
+
+// enqueue appends a ticket. Caller holds rt.mu (ordering) but not sh.mu.
+func (sh *histShard) enqueue(id int64) {
+	sh.mu.Lock()
+	sh.tickets = append(sh.tickets, id)
+	sh.mu.Unlock()
+}
+
+// acquire blocks until id is at the head of the ticket queue and returns
+// with sh.mu held.
+func (sh *histShard) acquire(id int64) {
+	sh.mu.Lock()
+	for sh.tickets[0] != id {
+		sh.cond.Wait()
+	}
+}
+
+// release pops the head ticket and releases sh.mu.
+func (sh *histShard) release() {
+	sh.tickets = sh.tickets[1:]
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// analyze records dependences of one reference of task id against the
+// shard's history and updates the history. Caller holds sh.mu via
+// acquire. Returns the number of entries scanned.
+func (sh *histShard) analyze(id int64, ref region.Ref, depBytes map[int64]int64) int {
+	entries := sh.entries
+	kept := entries[:0]
+	scans := 0
+	for _, e := range entries {
+		scans++
+		if e.task == id {
+			// Another reference of the task being launched; a task never
+			// depends on itself.
+			kept = append(kept, e)
+			continue
+		}
+		if region.Conflicts(e.priv, ref.Priv) && e.subset.Overlaps(ref.Subset) {
+			n := depBytes[e.task]
+			// Data flows along the edge only when the predecessor wrote
+			// and the successor actually reads (RO/RW); WriteDiscard and
+			// ReduceSum need ordering but no incoming accumulator data.
+			if e.priv.Writes() && (ref.Priv == region.ReadOnly || ref.Priv == region.ReadWrite) {
+				n += region.VectorBytesOf(e.subset.Intersect(ref.Subset))
+			}
+			depBytes[e.task] = n
+		}
+		// A new writer shadows the covered part of every older entry:
+		// any later task conflicting there also conflicts with the new
+		// writer, and ordering through it is transitive (and the new
+		// writer holds the covered part's current data). Shrinking —
+		// rather than only dropping fully-covered entries — keeps the
+		// history bounded when writers touch pieces of a region that
+		// long-lived readers span, and routes each future read to the
+		// writer that actually produced each part.
+		if ref.Priv.Writes() && e.subset.Overlaps(ref.Subset) {
+			e.subset = e.subset.Subtract(ref.Subset)
+			if e.subset.Empty() {
+				continue // fully shadowed
+			}
+		}
+		kept = append(kept, e)
+	}
+	sh.entries = append(kept, histEntry{task: id, subset: ref.Subset, priv: ref.Priv})
+	return scans
+}
+
+// record appends one reference of a trace-replayed task to the shard's
+// history, applying the same writer-shadowing shrink as analyze but
+// skipping the interference scan entirely — replay already knows the
+// edges. Keeping the history current is what makes mid-instance
+// fallback and post-trace launches see exactly the state a fully
+// analyzed execution would have left. Caller holds sh.mu via acquire.
+func (sh *histShard) record(id int64, ref region.Ref) {
+	if ref.Priv.Writes() {
+		entries := sh.entries
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.task != id && e.subset.Overlaps(ref.Subset) {
+				e.subset = e.subset.Subtract(ref.Subset)
+				if e.subset.Empty() {
+					continue
+				}
+			}
+			kept = append(kept, e)
+		}
+		sh.entries = kept
+	}
+	sh.entries = append(sh.entries, histEntry{task: id, subset: ref.Subset, priv: ref.Priv})
+}
+
 // taskState tracks an incomplete task's scheduling state. Name, phase,
 // proc, and the recorder are copied out of the spec at launch so that
 // execution and failure reporting never need the runtime lock.
@@ -110,6 +255,7 @@ type taskState struct {
 	future    *Future
 	pending   int
 	succs     []*taskState
+	wired     bool // dependence wiring finished; eligible to run at pending==0
 	rec       *obs.Recorder
 	launch    float64 // recorder time at launch (valid when rec != nil)
 	retryable bool
@@ -117,30 +263,45 @@ type taskState struct {
 	poison    error // set under rt.mu before the task becomes ready
 }
 
+// keyGroup is the references of one launch grouped by history key, in
+// first-appearance order.
+type keyGroup struct {
+	shard *histShard
+	refs  []region.Ref
+}
+
 // Runtime launches tasks, derives their dependence graph from region
 // references, executes them concurrently on a goroutine pool, and records
 // the annotated graph for the simulator. The zero value is not usable;
 // call New.
 //
-// Launch, Drain, BeginTrace, EndTrace, and Graph are safe for concurrent
-// use, though the usual client is a single solver goroutine.
+// Launch, Drain, and Graph are safe for concurrent use. Trace scopes
+// (BeginTrace/EndTrace) assume a single launching goroutine between
+// them — the usual solver client; concurrent launchers may be used
+// outside trace scopes.
 type Runtime struct {
-	mu       sync.Mutex
-	hist     map[histKey][]histEntry
-	tasks    map[int64]*taskState // incomplete tasks only
-	graph    Graph
-	stats    Stats
-	wg       sync.WaitGroup
-	workers  chan int // pool of worker IDs; len = concurrency limit
-	traces   map[string]bool
-	replay   bool
-	tracing  bool
-	errs     []error // permanent task failures, in completion order
-	rec      *obs.Recorder
-	phase    string
-	retry    RetryPolicy
-	injector *fault.Injector
-	watchdog time.Duration
+	mu        sync.Mutex
+	hist      map[histKey]*histShard
+	tasks     map[int64]*taskState // incomplete tasks only
+	graph     Graph
+	nextID    int64          // next task ID to assign
+	nextFlush int64          // next task ID to append to graph.Nodes
+	held      map[int64]Node // finalized nodes waiting on smaller IDs
+	stats     Stats
+	wg        sync.WaitGroup
+	workers   chan int // pool of worker IDs; len = concurrency limit
+	traces    map[string]*traceTmpl
+	trace     *activeTrace
+	errs      []error // permanent task failures, in completion order
+	rec       *obs.Recorder
+	phase     string
+	retry     RetryPolicy
+	injector  *fault.Injector
+	watchdog  time.Duration
+
+	// Launch-path timers: wall time spent in Launch for analyzed versus
+	// trace-spliced launches, surfaced through LaunchTiming.
+	tAnalyzed, tSpliced obs.Timer
 }
 
 // New returns an empty runtime executing up to GOMAXPROCS tasks
@@ -152,10 +313,11 @@ func New() *Runtime {
 		workers <- w
 	}
 	return &Runtime{
-		hist:    make(map[histKey][]histEntry),
+		hist:    make(map[histKey]*histShard),
 		tasks:   make(map[int64]*taskState),
+		held:    make(map[int64]Node),
 		workers: workers,
-		traces:  make(map[string]bool),
+		traces:  make(map[string]*traceTmpl),
 	}
 }
 
@@ -199,7 +361,9 @@ func (rt *Runtime) SetFaultInjector(in *fault.Injector) {
 // is incremented and a "straggler" failure record goes to the attached
 // recorder. The task itself is not interrupted (goroutines cannot be
 // killed safely); the flag is the signal a scheduler or operator acts on.
-// A zero budget disables the watchdog.
+// The budget covers one execution attempt: it is re-armed per retry, so
+// backoff sleeps between attempts do not count against it. A zero budget
+// disables the watchdog.
 func (rt *Runtime) SetWatchdog(budget time.Duration) {
 	rt.mu.Lock()
 	rt.watchdog = budget
@@ -215,42 +379,78 @@ func (rt *Runtime) SetPhase(label string) {
 	rt.mu.Unlock()
 }
 
+// LaunchTiming returns accumulated wall time spent inside Launch, split
+// into fully analyzed launches and launches spliced from a memoized
+// trace — the direct measurement of what memoization saves.
+func (rt *Runtime) LaunchTiming() (analyzed, spliced obs.TimerSnapshot) {
+	return rt.tAnalyzed.Snapshot(), rt.tSpliced.Snapshot()
+}
+
+// shardFor returns (creating if needed) the history shard of a key.
+// Caller holds rt.mu.
+func (rt *Runtime) shardFor(key histKey) *histShard {
+	sh := rt.hist[key]
+	if sh == nil {
+		sh = &histShard{}
+		sh.cond.L = &sh.mu
+		rt.hist[key] = sh
+	}
+	return sh
+}
+
+// groupRefs groups a spec's references by history key in
+// first-appearance order and enqueues one ticket per key. Caller holds
+// rt.mu.
+func (rt *Runtime) groupRefs(id int64, refs []region.Ref) []keyGroup {
+	if len(refs) == 0 {
+		return nil
+	}
+	groups := make([]keyGroup, 0, len(refs))
+	idx := make(map[histKey]int, len(refs))
+	for _, ref := range refs {
+		key := histKey{ref.Region, ref.Field}
+		if i, ok := idx[key]; ok {
+			groups[i].refs = append(groups[i].refs, ref)
+			continue
+		}
+		idx[key] = len(groups)
+		groups = append(groups, keyGroup{shard: rt.shardFor(key), refs: []region.Ref{ref}})
+	}
+	for _, g := range groups {
+		g.shard.enqueue(id)
+	}
+	return groups
+}
+
 // Launch submits a task. Dependence analysis against previously launched
-// tasks happens immediately; execution happens asynchronously once all
-// dependences complete. The returned future delivers Run's result.
+// tasks happens immediately — in parallel across history keys for
+// concurrent launchers, or spliced from a memoized trace template when
+// the launch replays a recorded trace — and execution happens
+// asynchronously once all dependences complete. The returned future
+// delivers Run's result.
 func (rt *Runtime) Launch(spec TaskSpec) *Future {
+	start := time.Now()
 	fut := newFuture()
 
+	// Phase 1 (runtime lock): assign the ID, consult the tracer, enqueue
+	// per-key tickets, and register the task so later launches can wire
+	// onto it.
 	rt.mu.Lock()
-	id := int64(len(rt.graph.Nodes))
-	depBytes := make(map[int64]int64)
-	for _, ref := range spec.Refs {
-		rt.analyze(id, ref, depBytes)
+	id := rt.nextID
+	rt.nextID++
+	var act traceAction
+	var at *activeTrace
+	var tracePos int
+	if rt.trace != nil {
+		at = rt.trace
+		tracePos = at.n
+		act = rt.traceObserve(spec)
 	}
-
-	deps := make([]int64, 0, len(depBytes))
-	for d := range depBytes {
-		deps = append(deps, d)
-	}
-	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
-	bytes := make([]int64, len(deps))
-	for i, d := range deps {
-		bytes[i] = depBytes[d]
-	}
+	groups := rt.groupRefs(id, spec.Refs)
 	phase := spec.Phase
 	if phase == "" {
 		phase = rt.phase
 	}
-	rt.graph.Nodes = append(rt.graph.Nodes, Node{
-		ID: id, Name: spec.Name, Phase: phase, Proc: spec.Proc, Cost: spec.Cost,
-		Deps: deps, DepBytes: bytes, Traced: rt.replay, Host: spec.Host,
-	})
-	rt.stats.Launched++
-	rt.stats.DepEdges += int64(len(deps))
-	if rt.replay {
-		rt.stats.TraceReplays++
-	}
-
 	ts := &taskState{
 		id: id, name: spec.Name, phase: phase, proc: spec.Proc,
 		run: spec.Run, future: fut, rec: rt.rec, retryable: spec.Retryable,
@@ -261,64 +461,93 @@ func (rt *Runtime) Launch(spec TaskSpec) *Future {
 	if ts.rec != nil {
 		ts.launch = ts.rec.Now()
 	}
+	rt.tasks[id] = ts
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+
+	// Phase 2 (per-key shard locks, in ticket order): the interval-set
+	// work — interference analysis for analyzed launches, the history
+	// shadow update for spliced ones.
+	var deps, bytes []int64
+	scans := 0
+	if act.splice {
+		deps, bytes = act.deps, act.bytes
+		for _, g := range groups {
+			g.shard.acquire(id)
+			for _, ref := range g.refs {
+				g.shard.record(id, ref)
+			}
+			g.shard.release()
+		}
+	} else {
+		depBytes := make(map[int64]int64)
+		for _, g := range groups {
+			g.shard.acquire(id)
+			for _, ref := range g.refs {
+				scans += g.shard.analyze(id, ref, depBytes)
+			}
+			g.shard.release()
+		}
+		deps = make([]int64, 0, len(depBytes))
+		for d := range depBytes {
+			deps = append(deps, d)
+		}
+		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+		bytes = make([]int64, len(deps))
+		for i, d := range deps {
+			bytes[i] = depBytes[d]
+		}
+	}
+
+	// Phase 3 (runtime lock): record the node, update stats, capture
+	// template edges when calibrating, and wire the dependences.
+	rt.mu.Lock()
+	rt.stats.Launched++
+	rt.stats.DepEdges += int64(len(deps))
+	rt.stats.AnalysisScans += int64(scans)
+	if act.splice {
+		rt.stats.TraceReplays++
+	} else if at != nil && rt.trace == at {
+		rt.traceRecordAnalyzed(tracePos, deps, bytes)
+	}
+	rt.held[id] = Node{
+		ID: id, Name: spec.Name, Phase: phase, Proc: spec.Proc, Cost: spec.Cost,
+		Deps: deps, DepBytes: bytes, Traced: act.splice, Host: spec.Host,
+	}
+	for {
+		n, ok := rt.held[rt.nextFlush]
+		if !ok {
+			break
+		}
+		delete(rt.held, rt.nextFlush)
+		rt.graph.Nodes = append(rt.graph.Nodes, n)
+		rt.nextFlush++
+	}
 	for _, d := range deps {
 		if pred, live := rt.tasks[d]; live {
 			pred.succs = append(pred.succs, ts)
 			ts.pending++
 		}
+		// A predecessor that already completed needs no wiring — and if
+		// it completed in failure, this task deliberately runs anyway:
+		// poison flows only through tasks in flight. A failure that has
+		// been drained is a handled failure (the client saw it via Err
+		// and recovered, e.g. SolveResilient's checkpoint restore), so
+		// tasks launched afterward start from a clean slate.
 	}
-	rt.tasks[id] = ts
-	rt.wg.Add(1)
+	ts.wired = true
 	ready := ts.pending == 0
 	rt.mu.Unlock()
 
+	if act.splice {
+		rt.tSpliced.Observe(time.Since(start))
+	} else {
+		rt.tAnalyzed.Observe(time.Since(start))
+	}
 	if ready {
 		go rt.execute(ts)
 	}
 	return fut
-}
-
-// analyze records dependences of a new reference against the history and
-// updates the history, all under rt.mu.
-func (rt *Runtime) analyze(id int64, ref region.Ref, depBytes map[int64]int64) {
-	key := histKey{ref.Region, ref.Field}
-	entries := rt.hist[key]
-	kept := entries[:0]
-	for _, e := range entries {
-		rt.stats.AnalysisScans++
-		if e.task == id {
-			// Another reference of the task being launched; a task never
-			// depends on itself.
-			kept = append(kept, e)
-			continue
-		}
-		if region.Conflicts(e.priv, ref.Priv) && e.subset.Overlaps(ref.Subset) {
-			n := depBytes[e.task]
-			// Data flows along the edge only when the predecessor wrote
-			// and the successor actually reads (RO/RW); WriteDiscard and
-			// ReduceSum need ordering but no incoming accumulator data.
-			if e.priv.Writes() && (ref.Priv == region.ReadOnly || ref.Priv == region.ReadWrite) {
-				n += region.VectorBytesOf(e.subset.Intersect(ref.Subset))
-			}
-			depBytes[e.task] = n
-		}
-		// A new writer shadows the covered part of every older entry:
-		// any later task conflicting there also conflicts with the new
-		// writer, and ordering through it is transitive (and the new
-		// writer holds the covered part's current data). Shrinking —
-		// rather than only dropping fully-covered entries — keeps the
-		// history bounded when writers touch pieces of a region that
-		// long-lived readers span, and routes each future read to the
-		// writer that actually produced each part.
-		if ref.Priv.Writes() && e.subset.Overlaps(ref.Subset) {
-			e.subset = e.subset.Subtract(ref.Subset)
-			if e.subset.Empty() {
-				continue // fully shadowed
-			}
-		}
-		kept = append(kept, e)
-	}
-	rt.hist[key] = append(kept, histEntry{task: id, subset: ref.Subset, priv: ref.Priv})
 }
 
 // execute runs one ready task — or skips it when poisoned — and then
@@ -359,11 +588,6 @@ func (rt *Runtime) execute(ts *taskState) {
 		start = ts.rec.Now()
 	}
 
-	var wd *time.Timer
-	if budget > 0 {
-		wd = time.AfterFunc(budget, func() { rt.flagStraggler(ts, budget) })
-	}
-
 	maxAttempts := 1
 	if ts.retryable && policy.MaxAttempts > 1 {
 		maxAttempts = policy.MaxAttempts
@@ -372,7 +596,17 @@ func (rt *Runtime) execute(ts *taskState) {
 	var err error
 	outcome := obs.OutcomeOK
 	for attempt := 0; ; attempt++ {
+		// The watchdog budget covers one attempt's execution, re-armed
+		// here so retry backoff sleeps do not count against it and a
+		// transiently failing task is not falsely flagged a straggler.
+		var wd *time.Timer
+		if budget > 0 {
+			wd = time.AfterFunc(budget, func() { rt.flagStraggler(ts, budget) })
+		}
 		val, err = rt.runGuarded(ts, attempt)
+		if wd != nil {
+			wd.Stop()
+		}
 		if err == nil {
 			if attempt > 0 {
 				outcome = obs.OutcomeRetried
@@ -402,11 +636,8 @@ func (rt *Runtime) execute(ts *taskState) {
 		rt.stats.Retries++
 		rt.mu.Unlock()
 		if policy.Backoff > 0 {
-			time.Sleep(policy.Backoff << attempt)
+			time.Sleep(backoffDelay(policy.Backoff, attempt))
 		}
-	}
-	if wd != nil {
-		wd.Stop()
 	}
 	if ts.rec != nil {
 		ts.rec.Record(obs.Span{
@@ -422,25 +653,30 @@ func (rt *Runtime) execute(ts *taskState) {
 // complete resolves the task's future, poisons and releases its
 // successors, and retires the task. A non-nil err marks the task as a
 // permanent failure (or an already-poisoned cancellation): every direct
-// successor is poisoned, and poison flows transitively because poisoned
-// successors complete with their own non-nil error.
+// successor is poisoned, poison flows transitively because poisoned
+// successors complete with their own non-nil error, and the failure is
+// remembered so tasks wired after this completion are poisoned too.
 func (rt *Runtime) complete(ts *taskState, val float64, err error) {
 	ts.future.resolve(val, err)
 
 	rt.mu.Lock()
 	delete(rt.tasks, ts.id)
+	var poisonErr error
+	if err != nil {
+		if errors.Is(err, ErrPoisoned) {
+			poisonErr = err // keep the root failure visible transitively
+		} else {
+			poisonErr = fmt.Errorf("%w (root: task %d %s: %v)",
+				ErrPoisoned, ts.id, ts.name, err)
+		}
+	}
 	var ready []*taskState
 	for _, s := range ts.succs {
-		if err != nil && s.poison == nil {
-			if errors.Is(err, ErrPoisoned) {
-				s.poison = err // keep the root failure visible transitively
-			} else {
-				s.poison = fmt.Errorf("%w (root: task %d %s: %v)",
-					ErrPoisoned, ts.id, ts.name, err)
-			}
+		if poisonErr != nil && s.poison == nil {
+			s.poison = poisonErr
 		}
 		s.pending--
-		if s.pending == 0 {
+		if s.pending == 0 && s.wired {
 			ready = append(ready, s)
 		}
 	}
@@ -516,7 +752,9 @@ func (rt *Runtime) Err() error {
 // if the graph must reflect a quiescent state. The snapshot is O(1):
 // nodes are immutable once recorded, so the returned graph shares their
 // storage (callers must not modify it) and is unaffected by later
-// launches.
+// launches. With concurrent launchers the snapshot is always a
+// consistent prefix: a node appears only once its dependence analysis —
+// and that of every smaller-ID task — has finished.
 func (rt *Runtime) Graph() Graph {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -531,30 +769,101 @@ func (rt *Runtime) Stats() Stats {
 	return rt.stats
 }
 
-// BeginTrace opens a trace scope. The first execution of a given key
-// records the trace; later executions replay it, marking their tasks as
-// memoized (lower launch overhead in the simulator). Traces must not
-// nest.
+// BeginTrace opens a trace scope: the launches up to the matching
+// EndTrace form one instance of the trace key. The first instance
+// records a fingerprint, the second (if launched back to back with the
+// first) validates it and captures dependence edges, and later
+// back-to-back instances replay those edges without any dependence
+// analysis. Any gap, mismatch, or differently-shaped instance falls
+// back to full analysis automatically — a wrong trace scope costs
+// performance, never correctness. Traces must not nest, and the
+// launches inside a scope must come from a single goroutine.
 func (rt *Runtime) BeginTrace(key string) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if rt.tracing {
+	if rt.trace != nil {
 		panic("taskrt: traces must not nest")
 	}
-	rt.tracing = true
-	rt.replay = rt.traces[key]
-	rt.traces[key] = true
+	tmpl := rt.traces[key]
+	if tmpl == nil {
+		tmpl = &traceTmpl{}
+		rt.traces[key] = tmpl
+	}
+	at := &activeTrace{
+		key: key, tmpl: tmpl,
+		base:      rt.nextID,
+		watermark: region.LastID(),
+		freshIdx:  make(map[region.ID]int),
+	}
+	adjacent := tmpl.lastOK && tmpl.lastBase+int64(tmpl.lastLen) == rt.nextID
+	switch {
+	case !adjacent:
+		// A gap (foreign launches, another key, a failed instance)
+		// invalidates captured edges: ancient entries may have been
+		// shadowed and prev offsets no longer line up. Re-establish
+		// adjacency with one analyzed instance, then recalibrate.
+		at.mode = trRecord
+		tmpl.hasDeps = false
+	case !tmpl.hasDeps:
+		at.mode = trCalibrate
+	default:
+		at.mode = trReplay
+	}
+	if at.mode != trRecord {
+		at.prevIdx = make(map[region.ID]int, len(tmpl.lastFresh))
+		for j, id := range tmpl.lastFresh {
+			at.prevIdx[id] = j
+		}
+	}
+	rt.trace = at
 }
 
-// EndTrace closes the current trace scope.
+// EndTrace closes the current trace scope and files the instance's
+// outcome: a full replay counts as a trace hit; everything else — the
+// recording and calibrating instances, gaps, fallbacks, short
+// instances — counts as a miss.
 func (rt *Runtime) EndTrace() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if !rt.tracing {
+	if rt.trace == nil {
 		panic("taskrt: EndTrace without BeginTrace")
 	}
-	rt.tracing = false
-	rt.replay = false
+	at := rt.trace
+	rt.trace = nil
+	tmpl := at.tmpl
+
+	if at.mode == trReplay {
+		if at.failed {
+			// traceObserve already dropped the template.
+			rt.stats.TraceMisses++
+			return
+		}
+		if at.n != len(tmpl.tasks) {
+			// Shorter instance: every spliced launch was individually
+			// valid, but this instance cannot anchor the next replay.
+			tmpl.lastOK = false
+			rt.stats.TraceMisses++
+			return
+		}
+		tmpl.lastOK = true
+		tmpl.lastBase = at.base
+		tmpl.lastLen = at.n
+		tmpl.lastFresh = at.fresh
+		rt.stats.TraceHits++
+		return
+	}
+
+	rt.stats.TraceMisses++
+	calibrated := at.mode == trCalibrate && !at.failed && at.n == len(tmpl.tasks)
+	// The candidate becomes the template: identical to the old one when
+	// the instance matched (modulo stable→prev upgrades), the new truth
+	// when it did not.
+	tmpl.tasks = at.cand
+	tmpl.hasDeps = calibrated
+	tmpl.lastOK = true
+	tmpl.lastBase = at.base
+	tmpl.lastLen = at.n
+	tmpl.lastFresh = at.fresh
 }
 
 // String summarizes the runtime state.

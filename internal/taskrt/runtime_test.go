@@ -234,19 +234,29 @@ func TestTraceReplayFlags(t *testing.T) {
 		rt.Launch(TaskSpec{Name: "b", Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadOnly)}})
 		rt.EndTrace()
 	}
-	iter() // records
+	iter() // records the fingerprint
+	iter() // calibrates: validates and captures edges
+	scansBeforeReplay := rt.Stats().AnalysisScans
 	iter() // replays
 	iter() // replays
 	rt.Drain()
 	g := rt.Graph()
 	for i, n := range g.Nodes {
-		wantTraced := i >= 2
+		wantTraced := i >= 4
 		if n.Traced != wantTraced {
 			t.Errorf("node %d Traced = %v, want %v", i, n.Traced, wantTraced)
 		}
 	}
-	if got := rt.Stats().TraceReplays; got != 4 {
-		t.Fatalf("TraceReplays = %d, want 4", got)
+	st := rt.Stats()
+	if st.TraceReplays != 4 {
+		t.Fatalf("TraceReplays = %d, want 4", st.TraceReplays)
+	}
+	if st.TraceHits != 2 || st.TraceMisses != 2 {
+		t.Fatalf("TraceHits/Misses = %d/%d, want 2/2", st.TraceHits, st.TraceMisses)
+	}
+	if st.AnalysisScans != scansBeforeReplay {
+		t.Fatalf("replayed iterations performed %d analysis scans, want 0",
+			st.AnalysisScans-scansBeforeReplay)
 	}
 }
 
@@ -575,9 +585,10 @@ func TestIndexLaunch(t *testing.T) {
 }
 
 func TestTraceReplayTwoCyclesSameKey(t *testing.T) {
-	// The second cycle under the same key must replay the first: its
-	// tasks are memoized, and TraceReplays counts exactly them. A later
-	// cycle under a fresh key records again and replays nothing.
+	// The third back-to-back cycle under the same key must replay: the
+	// first records the fingerprint, the second calibrates the edges,
+	// and TraceReplays counts exactly the spliced tasks. A later cycle
+	// under a fresh key records again and replays nothing.
 	rt := New()
 	r := region.New("v", index.NewSpace("D", 8), "x")
 	cycle := func(key string) {
@@ -588,8 +599,9 @@ func TestTraceReplayTwoCyclesSameKey(t *testing.T) {
 		rt.EndTrace()
 	}
 	cycle("step")
+	cycle("step")
 	if got := rt.Stats().TraceReplays; got != 0 {
-		t.Fatalf("after recording cycle: TraceReplays = %d, want 0", got)
+		t.Fatalf("after record+calibrate cycles: TraceReplays = %d, want 0", got)
 	}
 	cycle("step")
 	if got := rt.Stats().TraceReplays; got != 3 {
@@ -601,11 +613,11 @@ func TestTraceReplayTwoCyclesSameKey(t *testing.T) {
 		t.Fatalf("fresh key must record, not replay: TraceReplays = %d, want 3", got)
 	}
 	g := rt.Graph()
-	if g.Len() != 9 {
-		t.Fatalf("graph has %d nodes, want 9", g.Len())
+	if g.Len() != 12 {
+		t.Fatalf("graph has %d nodes, want 12", g.Len())
 	}
 	for i, n := range g.Nodes {
-		wantTraced := i >= 3 && i < 6
+		wantTraced := i >= 6 && i < 9
 		if n.Traced != wantTraced {
 			t.Errorf("node %d Traced = %v, want %v", i, n.Traced, wantTraced)
 		}

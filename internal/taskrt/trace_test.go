@@ -1,0 +1,347 @@
+package taskrt
+
+import (
+	"sync"
+	"testing"
+
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/region"
+)
+
+// syntheticCG drives a CG-shaped launch sequence against rt: stable
+// workspace vectors, a fresh dot-scratch scalar per iteration, and a
+// residual scalar produced each iteration and read by the next — the
+// exact region lifecycle that forces the tracer through rcStable, rcCur,
+// rcPrev, and ancient-edge handling. mutate, when non-nil, is called with
+// the iteration number and may launch extra tasks or return a changed
+// privilege for the axpy task to provoke fingerprint mismatches.
+func syntheticCG(rt *Runtime, iters int, traced bool, mutate func(i int)) {
+	sp := index.NewSpace("D", 64)
+	scalar := index.NewSpace("S", 1)
+	sol := region.New("sol", sp, "x")
+	p := region.New("p", sp, "x")
+	q := region.New("q", sp, "x")
+	full := func(r *region.Region, priv region.Privilege) region.Ref {
+		return region.Ref{Region: r.ID(), Field: "x", Subset: index.Span(0, 63), Priv: priv}
+	}
+	sref := func(r *region.Region, priv region.Privilege) region.Ref {
+		return region.Ref{Region: r.ID(), Field: "v", Subset: index.Span(0, 0), Priv: priv}
+	}
+
+	// Pre-trace initialization, including the initial residual scalar the
+	// first traced iteration reads (the rcStable→rcPrev upgrade case).
+	rt.Launch(TaskSpec{Name: "init.sol", Refs: []region.Ref{full(sol, region.WriteDiscard)}})
+	rt.Launch(TaskSpec{Name: "init.p", Refs: []region.Ref{full(p, region.WriteDiscard)}})
+	res := region.New("res", scalar, "v")
+	rt.Launch(TaskSpec{Name: "init.res", Refs: []region.Ref{
+		full(p, region.ReadOnly), sref(res, region.WriteDiscard),
+	}})
+
+	for i := 0; i < iters; i++ {
+		if traced {
+			rt.BeginTrace("step")
+		}
+		rt.Launch(TaskSpec{Name: "matmul", Refs: []region.Ref{
+			full(p, region.ReadOnly), full(q, region.WriteDiscard),
+		}})
+		s1 := region.New("dot", scalar, "v")
+		rt.Launch(TaskSpec{Name: "dot", Refs: []region.Ref{
+			full(p, region.ReadOnly), full(q, region.ReadOnly), sref(s1, region.WriteDiscard),
+		}})
+		rt.Launch(TaskSpec{Name: "axpy", Refs: []region.Ref{
+			full(p, region.ReadOnly), sref(s1, region.ReadOnly), full(sol, region.ReadWrite),
+		}})
+		s2 := region.New("res", scalar, "v")
+		rt.Launch(TaskSpec{Name: "update", Refs: []region.Ref{
+			sref(res, region.ReadOnly), sref(s1, region.ReadOnly), sref(s2, region.WriteDiscard),
+		}})
+		res = s2
+		if mutate != nil {
+			mutate(i)
+		}
+		if traced {
+			rt.EndTrace()
+		}
+	}
+	rt.Drain()
+}
+
+// assertGraphsEqual fails unless both runtimes derived the same
+// dependence structure (names, edges, edge payloads) for every task.
+func assertGraphsEqual(t *testing.T, analyzed, traced *Runtime) {
+	t.Helper()
+	ga, gt := analyzed.Graph(), traced.Graph()
+	if ga.Len() != gt.Len() {
+		t.Fatalf("graph sizes differ: analyzed %d, traced %d", ga.Len(), gt.Len())
+	}
+	for i := range ga.Nodes {
+		a, b := ga.Nodes[i], gt.Nodes[i]
+		if a.Name != b.Name {
+			t.Fatalf("node %d name: analyzed %q, traced %q", i, a.Name, b.Name)
+		}
+		if len(a.Deps) != len(b.Deps) {
+			t.Fatalf("node %d (%s) deps: analyzed %v, traced %v", i, a.Name, a.Deps, b.Deps)
+		}
+		for j := range a.Deps {
+			if a.Deps[j] != b.Deps[j] || a.DepBytes[j] != b.DepBytes[j] {
+				t.Fatalf("node %d (%s) edge %d: analyzed %d(%dB), traced %d(%dB)",
+					i, a.Name, j, a.Deps[j], a.DepBytes[j], b.Deps[j], b.DepBytes[j])
+			}
+		}
+	}
+}
+
+func TestTraceReplayEquivalence(t *testing.T) {
+	// A replayed instance must splice exactly the edges full analysis
+	// would derive — same predecessors, same payload bytes — including
+	// prev-instance edges through the residual scalar and ancient edges
+	// to the pre-trace writer of p.
+	analyzed, traced := New(), New()
+	syntheticCG(analyzed, 8, false, nil)
+	syntheticCG(traced, 8, true, nil)
+	assertGraphsEqual(t, analyzed, traced)
+
+	st := traced.Stats()
+	// Iterations 1 and 2 record and calibrate; 3..8 replay all 4 tasks.
+	if want := int64(6 * 4); st.TraceReplays != want {
+		t.Errorf("TraceReplays = %d, want %d", st.TraceReplays, want)
+	}
+	if st.TraceHits != 6 || st.TraceMisses != 2 {
+		t.Errorf("TraceHits/Misses = %d/%d, want 6/2", st.TraceHits, st.TraceMisses)
+	}
+	if st.TraceFallbacks != 0 {
+		t.Errorf("TraceFallbacks = %d, want 0", st.TraceFallbacks)
+	}
+	if nodes := traced.Graph().Nodes; !nodes[len(nodes)-1].Traced {
+		t.Error("final iteration's tasks should be trace-spliced")
+	}
+}
+
+func TestTraceReplayZeroAnalysisScans(t *testing.T) {
+	// Once a trace replays, iterations must perform no interference
+	// analysis at all, even though every iteration creates fresh scratch
+	// regions.
+	rt := New()
+	sp := index.NewSpace("D", 32)
+	v := region.New("v", sp, "x")
+	iter := func() {
+		rt.BeginTrace("step")
+		rt.Launch(TaskSpec{Name: "w", Refs: []region.Ref{
+			{Region: v.ID(), Field: "x", Subset: index.Span(0, 31), Priv: region.ReadWrite},
+		}})
+		s := region.New("s", index.NewSpace("S", 1), "v")
+		rt.Launch(TaskSpec{Name: "d", Refs: []region.Ref{
+			{Region: v.ID(), Field: "x", Subset: index.Span(0, 31), Priv: region.ReadOnly},
+			{Region: s.ID(), Field: "v", Subset: index.Span(0, 0), Priv: region.WriteDiscard},
+		}})
+		rt.EndTrace()
+	}
+	iter()
+	iter()
+	base := rt.Stats().AnalysisScans
+	for i := 0; i < 10; i++ {
+		iter()
+	}
+	rt.Drain()
+	st := rt.Stats()
+	if st.AnalysisScans != base {
+		t.Fatalf("replayed iterations scanned %d history entries, want 0",
+			st.AnalysisScans-base)
+	}
+	if st.TraceHits != 10 {
+		t.Fatalf("TraceHits = %d, want 10", st.TraceHits)
+	}
+}
+
+func TestTraceFallbackOnMismatch(t *testing.T) {
+	// An instance that diverges from the calibrated template mid-stream
+	// must fall back to full analysis and still derive correct edges; the
+	// template is dropped and rebuilt by later instances.
+	analyzed, traced := New(), New()
+	mutate := func(rt *Runtime) func(int) {
+		sp := index.NewSpace("E", 16)
+		extra := region.New("extra", sp, "x")
+		return func(i int) {
+			if i == 5 {
+				rt.Launch(TaskSpec{Name: "odd", Refs: []region.Ref{
+					{Region: extra.ID(), Field: "x", Subset: index.Span(0, 15), Priv: region.ReadWrite},
+				}})
+			}
+		}
+	}
+	syntheticCG(analyzed, 9, false, mutate(analyzed))
+	syntheticCG(traced, 9, true, mutate(traced))
+	assertGraphsEqual(t, analyzed, traced)
+
+	st := traced.Stats()
+	if st.TraceFallbacks != 1 {
+		t.Errorf("TraceFallbacks = %d, want 1", st.TraceFallbacks)
+	}
+	// Iterations 0,1 record+calibrate; 2..4 replay; 5 splices its four
+	// matching tasks, then the extra task falls back and drops the
+	// template; 6,7 re-record and recalibrate; 8 replays again.
+	if want := int64(3*4 + 4 + 4); st.TraceReplays != want {
+		t.Errorf("TraceReplays = %d, want %d", st.TraceReplays, want)
+	}
+	if st.TraceHits != 4 {
+		t.Errorf("TraceHits = %d, want 4", st.TraceHits)
+	}
+}
+
+func TestTraceGapDemotesToAnalysis(t *testing.T) {
+	// A foreign launch between two instances (a convergence check, a
+	// checkpoint) invalidates offset splicing; the next instances must
+	// silently re-record and recalibrate rather than replay stale edges.
+	analyzed, traced := New(), New()
+	run := func(rt *Runtime, traced bool) {
+		sp := index.NewSpace("D", 32)
+		v := region.New("v", sp, "x")
+		foreign := region.New("f", sp, "x")
+		w := func(r *region.Region, priv region.Privilege) region.Ref {
+			return region.Ref{Region: r.ID(), Field: "x", Subset: index.Span(0, 31), Priv: priv}
+		}
+		rt.Launch(TaskSpec{Name: "init", Refs: []region.Ref{w(v, region.WriteDiscard)}})
+		for i := 0; i < 8; i++ {
+			if traced {
+				rt.BeginTrace("step")
+			}
+			rt.Launch(TaskSpec{Name: "a", Refs: []region.Ref{w(v, region.ReadWrite)}})
+			rt.Launch(TaskSpec{Name: "b", Refs: []region.Ref{w(v, region.ReadOnly)}})
+			if traced {
+				rt.EndTrace()
+			}
+			if i == 4 {
+				rt.Launch(TaskSpec{Name: "foreign", Refs: []region.Ref{
+					w(foreign, region.WriteDiscard), w(v, region.ReadOnly),
+				}})
+			}
+		}
+		rt.Drain()
+	}
+	run(analyzed, false)
+	run(traced, true)
+	assertGraphsEqual(t, analyzed, traced)
+
+	st := traced.Stats()
+	// Iterations 0,1 record+calibrate, 2..4 replay; the gap after 4
+	// demotes 5 to record and 6 to calibrate; 7 replays.
+	if st.TraceHits != 4 {
+		t.Errorf("TraceHits = %d, want 4", st.TraceHits)
+	}
+	if st.TraceFallbacks != 0 {
+		t.Errorf("TraceFallbacks = %d, want 0 (gaps demote before replay starts)", st.TraceFallbacks)
+	}
+}
+
+func TestConcurrentLaunchersWithGraphSnapshots(t *testing.T) {
+	// Concurrent launchers on overlapping regions while another goroutine
+	// snapshots the graph: snapshots must always be a consistent prefix
+	// (every node's edges final and pointing at smaller IDs). Run under
+	// -race this also exercises the sharded history and node holdback.
+	rt := New()
+	sp := index.NewSpace("D", 256)
+	shared := region.New("shared", sp, "x")
+	const launchers, perLauncher = 6, 40
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			g := rt.Graph()
+			for i, n := range g.Nodes {
+				if n.ID != int64(i) {
+					t.Errorf("snapshot node %d has ID %d", i, n.ID)
+					return
+				}
+				for _, d := range n.Deps {
+					if d >= n.ID {
+						t.Errorf("snapshot node %d has forward edge to %d", n.ID, d)
+						return
+					}
+				}
+			}
+			if g.Len() == launchers*perLauncher {
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for l := 0; l < launchers; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := 0; i < perLauncher; i++ {
+				lo := int64((l*perLauncher + i) % 64 * 4)
+				priv := region.ReadOnly
+				if i%3 == 0 {
+					priv = region.ReadWrite
+				}
+				rt.Launch(TaskSpec{Name: "t", Refs: []region.Ref{
+					{Region: shared.ID(), Field: "x", Subset: index.Span(lo, lo+3), Priv: priv},
+				}})
+			}
+		}(l)
+	}
+	wg.Wait()
+	rt.Drain()
+	<-done
+
+	g := rt.Graph()
+	if g.Len() != launchers*perLauncher {
+		t.Fatalf("graph has %d nodes, want %d", g.Len(), launchers*perLauncher)
+	}
+}
+
+func TestLaunchAfterDrainedFailureRunsClean(t *testing.T) {
+	// Poison flows only through tasks in flight. Once a failure has
+	// completed (drained, surfaced via Err), tasks launched afterward —
+	// even ones ordered after the failed task — run normally. Checkpoint
+	// recovery (SolveResilient) depends on this: the restore task that
+	// overwrites the damaged data is itself ordered after the failure.
+	rt := New()
+	sp := index.NewSpace("D", 8)
+	v := region.New("v", sp, "x")
+	w := region.Ref{Region: v.ID(), Field: "x", Subset: index.Span(0, 7), Priv: region.ReadWrite}
+	rt.Launch(TaskSpec{Name: "boom", Refs: []region.Ref{w}, Run: func() float64 {
+		panic("kernel fault")
+	}})
+	rt.Drain() // "boom" has failed, retired, and is visible via Err
+	if rt.Err() == nil {
+		t.Fatal("failure not surfaced")
+	}
+	fut := rt.Launch(TaskSpec{Name: "restore", Refs: []region.Ref{w}, Run: func() float64 {
+		return 42
+	}})
+	rt.Drain()
+	if v, err := fut.Result(); err != nil || v != 42 {
+		t.Fatalf("post-recovery task = (%v, %v), want (42, nil)", v, err)
+	}
+	if got := rt.Stats().Poisoned; got != 0 {
+		t.Fatalf("Poisoned = %d, want 0", got)
+	}
+}
+
+func TestLaunchTimingSplit(t *testing.T) {
+	rt := New()
+	sp := index.NewSpace("D", 16)
+	v := region.New("v", sp, "x")
+	iter := func() {
+		rt.BeginTrace("k")
+		rt.Launch(TaskSpec{Name: "w", Refs: []region.Ref{
+			{Region: v.ID(), Field: "x", Subset: index.Span(0, 15), Priv: region.ReadWrite},
+		}})
+		rt.EndTrace()
+	}
+	for i := 0; i < 5; i++ {
+		iter()
+	}
+	rt.Drain()
+	analyzed, spliced := rt.LaunchTiming()
+	if analyzed.Count != 2 || spliced.Count != 3 {
+		t.Fatalf("timing counts analyzed/spliced = %d/%d, want 2/3", analyzed.Count, spliced.Count)
+	}
+	if analyzed.Total <= 0 || spliced.Total <= 0 {
+		t.Fatalf("timers did not accumulate: %v / %v", analyzed.Total, spliced.Total)
+	}
+}
