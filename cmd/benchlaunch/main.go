@@ -4,7 +4,7 @@
 // numbers land in a machine-readable artifact instead of scrolling away
 // in a CI log:
 //
-//	go run ./cmd/benchlaunch -o BENCH_pr4.json
+//	go run ./cmd/benchlaunch -o BENCH_pr5.json
 package main
 
 import (
@@ -41,14 +41,27 @@ type spmvResult struct {
 	MBPerS  float64 `json:"mb_per_s"`
 }
 
+// fusionResult is one solver formulation's launch accounting and step
+// cost on lap2d:64x64 with trace replay on.
+type fusionResult struct {
+	// LaunchesPerIter is the steady-state task-launch count per solver
+	// iteration.
+	LaunchesPerIter float64 `json:"launches_per_iter"`
+	// UsPerStep is the wall cost of one Step (launch + execute, drained).
+	UsPerStep float64 `json:"us_per_step"`
+}
+
 type report struct {
 	RuntimeLaunch map[string]launchResult `json:"runtime_launch"`
 	SpMVFormats   map[string]spmvResult   `json:"spmv_formats"`
+	// SolverFusion compares fused and per-operation solver formulations,
+	// plus pipelined CG, on the same system.
+	SolverFusion map[string]fusionResult `json:"solver_fusion"`
 }
 
-// cgPlanner builds the same real (non-virtual) CG setup
-// BenchmarkRuntimeLaunch uses.
-func cgPlanner(tracing bool) (*core.Planner, solvers.Solver) {
+// solverPlanner builds a real (non-virtual) planner on lap2d:64x64 and
+// the named solver on it.
+func solverPlanner(tracing bool, mk func(p *core.Planner) solvers.Solver) (*core.Planner, solvers.Solver) {
 	a := sparse.Laplacian2D(64, 64)
 	n := a.Domain().Size()
 	p := core.NewPlanner(core.Config{Machine: machine.Lassen(1)})
@@ -57,7 +70,13 @@ func cgPlanner(tracing bool) (*core.Planner, solvers.Solver) {
 	p.AddOperator(a, si, ri)
 	p.Finalize()
 	p.SetTracing(tracing)
-	return p, solvers.NewCG(p)
+	return p, mk(p)
+}
+
+// cgPlanner builds the same real (non-virtual) CG setup
+// BenchmarkRuntimeLaunch uses.
+func cgPlanner(tracing bool) (*core.Planner, solvers.Solver) {
+	return solverPlanner(tracing, func(p *core.Planner) solvers.Solver { return solvers.NewCG(p) })
 }
 
 func measureLaunch(tracing bool) launchResult {
@@ -103,6 +122,52 @@ func measureLaunch(tracing bool) launchResult {
 	return res
 }
 
+// measureFusion reports launches/iteration and µs/step for one solver
+// formulation, tracing on: 3 warmup steps (trace record + calibrate),
+// then a fixed counting window for the launch rate and a harness-timed
+// run for the step cost.
+func measureFusion(mk func(p *core.Planner) solvers.Solver) fusionResult {
+	const window = 50
+	p, s := solverPlanner(true, mk)
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	p.Drain()
+	before := p.Runtime().Stats().Launched
+	for i := 0; i < window; i++ {
+		s.Step()
+	}
+	p.Drain()
+	launches := float64(p.Runtime().Stats().Launched-before) / window
+
+	bres := testing.Benchmark(func(b *testing.B) {
+		p, s := solverPlanner(true, mk)
+		for i := 0; i < 3; i++ {
+			s.Step()
+		}
+		p.Drain()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+		p.Drain()
+	})
+	return fusionResult{
+		LaunchesPerIter: launches,
+		UsPerStep:       float64(bres.NsPerOp()) / 1e3,
+	}
+}
+
+func measureSolverFusion() map[string]fusionResult {
+	return map[string]fusionResult{
+		"cg_fused":         measureFusion(func(p *core.Planner) solvers.Solver { return solvers.NewCG(p) }),
+		"cg_unfused":       measureFusion(func(p *core.Planner) solvers.Solver { return solvers.NewCGUnfused(p) }),
+		"pipecg":           measureFusion(func(p *core.Planner) solvers.Solver { return solvers.NewPipeCG(p) }),
+		"bicgstab_fused":   measureFusion(func(p *core.Planner) solvers.Solver { return solvers.NewBiCGStab(p) }),
+		"bicgstab_unfused": measureFusion(func(p *core.Planner) solvers.Solver { return solvers.NewBiCGStabUnfused(p) }),
+	}
+}
+
 func measureSpMV() map[string]spmvResult {
 	csr := sparse.Laplacian2D(64, 64)
 	n := csr.Domain().Size()
@@ -135,7 +200,7 @@ func measureSpMV() map[string]spmvResult {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr4.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_pr5.json", "output file ('-' for stdout)")
 	flag.Parse()
 
 	rep := report{
@@ -143,11 +208,16 @@ func main() {
 			"replay_off": measureLaunch(false),
 			"replay_on":  measureLaunch(true),
 		},
-		SpMVFormats: measureSpMV(),
+		SpMVFormats:  measureSpMV(),
+		SolverFusion: measureSolverFusion(),
 	}
 	if on, off := rep.RuntimeLaunch["replay_on"], rep.RuntimeLaunch["replay_off"]; on.NsPerOp >= off.NsPerOp {
 		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: replay_on (%.0f ns/op) not faster than replay_off (%.0f ns/op)\n",
 			on.NsPerOp, off.NsPerOp)
+	}
+	if f, u := rep.SolverFusion["cg_fused"], rep.SolverFusion["cg_unfused"]; f.LaunchesPerIter > 0.7*u.LaunchesPerIter {
+		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: fused CG launches/iter (%.1f) not >=30%% below unfused (%.1f)\n",
+			f.LaunchesPerIter, u.LaunchesPerIter)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

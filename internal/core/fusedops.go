@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/region"
+	"kdrsolvers/internal/taskrt"
+)
+
+// Fused vector kernels. The per-operation launches of vecops.go pay one
+// task per vector op per piece, so a CG iteration sweeps the same pieces
+// five times and synchronizes on two separate dot reductions. The fused
+// layer collapses both costs ("Hardware-Oriented Krylov Methods for
+// HPC"): FusedSweep applies k axpy/xpay updates to a piece in one task
+// visit and folds any number of dot products into a single tree
+// reduction — one partial task per piece computing every requested dot,
+// and one scalar-combine task total instead of one per (dot, piece).
+//
+// Numerics are preserved exactly where the paper's solvers need them
+// preserved: updates execute in argument order inside each piece (the
+// same order the unfused launches would impose through their region
+// dependences), so fused sweeps are bitwise identical to their unfused
+// counterparts; batched dots accumulate per piece and then combine in
+// piece order, the same order Dot's reduce task uses.
+//
+// Fused tasks launch through the ordinary Launch path with ordinary
+// region references, so they are traced, memoized, and replayed by the
+// runtime's trace templates like any other task.
+
+// UpdateKind selects the recurrence form of one fused vector update.
+type UpdateKind int
+
+const (
+	// UpdAxpy is dst ← dst + α·src.
+	UpdAxpy UpdateKind = iota
+	// UpdXpay is dst ← src + α·dst.
+	UpdXpay
+)
+
+// VecUpdate is one update of a fused sweep. Neg applies −α without a
+// separate negation task (IEEE negation is exact, so the result is
+// bitwise identical to an axpy against a negated scalar).
+type VecUpdate struct {
+	Kind  UpdateKind
+	Dst   VecID
+	Alpha *Scalar
+	Neg   bool
+	Src   VecID
+}
+
+// DotPair names one inner product v·w of a batched reduction.
+type DotPair struct{ V, W VecID }
+
+// FusedUpdate applies the updates in order, visiting each piece once:
+// one task per piece performs every update instead of one task per
+// (update, piece). Updates may chain — a later update reading a dst an
+// earlier one wrote sees the written value, exactly as the equivalent
+// sequence of Axpy/Xpay launches would.
+func (p *Planner) FusedUpdate(ups ...VecUpdate) {
+	p.FusedSweep(ups, nil)
+}
+
+// DotBatch computes the inner products of every pair with one partial
+// task per piece (computing all the pairs' partials) and one combine
+// task total, so k simultaneous dot products pay a single reduction
+// barrier. The returned scalars are in pair order.
+func (p *Planner) DotBatch(pairs ...DotPair) []*Scalar {
+	return p.FusedSweep(nil, pairs)
+}
+
+// AxpyDot performs dst ← dst + α·src and returns v·w computed over the
+// post-update values in the same piece sweep — the classic fused kernel
+// of pipelined Krylov methods (r ← r − αq then ‖r‖² without re-reading
+// r from memory).
+func (p *Planner) AxpyDot(dst VecID, alpha *Scalar, src, v, w VecID) *Scalar {
+	return p.FusedSweep(
+		[]VecUpdate{{Kind: UpdAxpy, Dst: dst, Alpha: alpha, Src: src}},
+		[]DotPair{{V: v, W: w}})[0]
+}
+
+// XpayDot performs dst ← src + α·dst and returns v·w over the
+// post-update values in the same sweep.
+func (p *Planner) XpayDot(dst VecID, alpha *Scalar, src, v, w VecID) *Scalar {
+	return p.FusedSweep(
+		[]VecUpdate{{Kind: UpdXpay, Dst: dst, Alpha: alpha, Src: src}},
+		[]DotPair{{V: v, W: w}})[0]
+}
+
+// FusedSweep is the general fused kernel: it applies the updates in
+// order and then computes the dot pairs over the updated values, one
+// task per piece, followed by a single combine task when dots are
+// requested. It returns one deferred scalar per dot pair (nil slice
+// when dots is empty). At least one update or dot is required.
+//
+// All vectors must share the component structure of the first dst (or
+// first dot operand); the sweep iterates that vector's canonical
+// pieces, as the unfused operations do.
+func (p *Planner) FusedSweep(ups []VecUpdate, dots []DotPair) []*Scalar {
+	p.mustBeFinalized()
+	if len(ups) == 0 && len(dots) == 0 {
+		panic("core: FusedSweep needs at least one update or dot pair")
+	}
+	anchor := p.sweepAnchor(ups, dots)
+	comps := p.comps(p.vecs[anchor].shape)
+
+	// One scratch slot per (piece, dot), piece-major, so each partial
+	// task writes one contiguous span.
+	k := len(dots)
+	total := 0
+	for _, c := range comps {
+		total += c.part.NumColors()
+	}
+	var scratch *region.Region
+	if k > 0 {
+		space := index.NewSpace("dotscratch", int64(total*k))
+		if p.virtual {
+			scratch = region.NewVirtual("dotscratch", space)
+		} else {
+			scratch = region.New("dotscratch", space, "s")
+		}
+	}
+
+	piece := 0
+	eachPiece(comps, func(ci, color int, subset index.IntervalSet, proc int) {
+		base := int64(piece * k)
+		piece++
+		refs, cost := p.sweepRefs(ci, subset, ups, dots)
+		if k > 0 {
+			refs = append(refs, region.Ref{
+				Region: scratch.ID(), Field: "s",
+				Subset: index.Span(base, base+int64(k)-1), Priv: region.WriteDiscard,
+			})
+		}
+		var run func() float64
+		if !p.virtual {
+			run = p.sweepBody(ci, subset, base, scratch, ups, dots)
+		}
+		name := "fused.update"
+		if len(ups) == 0 {
+			name = "dot.batch"
+		} else if k > 0 {
+			name = "fused.updatedot"
+		}
+		p.rt.Launch(taskrt.TaskSpec{
+			Name: name, Proc: proc, Cost: cost, Refs: refs, Run: run,
+			// A sweep with updates read-modify-writes its dsts, so a
+			// partial first attempt would double-apply; a pure dot batch
+			// overwrites its scratch slots and is idempotent.
+			Retryable: len(ups) == 0,
+		})
+	})
+
+	if k == 0 {
+		return nil
+	}
+	return p.batchReduce(scratch, total, dots)
+}
+
+// sweepAnchor returns the vector whose component structure drives the
+// sweep, after validating every participating vector against it.
+func (p *Planner) sweepAnchor(ups []VecUpdate, dots []DotPair) VecID {
+	var ids []VecID
+	for _, u := range ups {
+		if u.Alpha == nil {
+			panic("core: VecUpdate requires a scalar coefficient")
+		}
+		ids = append(ids, u.Dst, u.Src)
+	}
+	for _, d := range dots {
+		ids = append(ids, d.V, d.W)
+	}
+	anchor := ids[0]
+	ac := p.comps(p.vecs[anchor].shape)
+	for _, id := range ids[1:] {
+		c := p.comps(p.vecs[id].shape)
+		if len(c) != len(ac) {
+			panic("core: fused sweep vectors have different component counts")
+		}
+		for i := range c {
+			if c[i].space.Size() != ac[i].space.Size() {
+				panic(fmt.Sprintf("core: fused sweep component %d size mismatch: %d vs %d",
+					i, c[i].space.Size(), ac[i].space.Size()))
+			}
+		}
+	}
+	return anchor
+}
+
+// sweepRefs builds the region references and simulated cost of one
+// piece's fused task. References on the same vector region are merged
+// (read-write when any participant writes), so a vector appearing as
+// both an update dst and a dot operand is declared once.
+func (p *Planner) sweepRefs(ci int, subset index.IntervalSet, ups []VecUpdate, dots []DotPair) ([]region.Ref, float64) {
+	var refs []region.Ref
+	idx := make(map[region.ID]int)
+	vecRef := func(id VecID, writes bool) {
+		reg := p.vecs[id].regs[ci]
+		if i, ok := idx[reg.ID()]; ok {
+			if writes && refs[i].Priv == region.ReadOnly {
+				refs[i].Priv = region.ReadWrite
+			}
+			return
+		}
+		priv := region.ReadOnly
+		if writes {
+			priv = region.ReadWrite
+		}
+		idx[reg.ID()] = len(refs)
+		refs = append(refs, pieceRef(reg, subset, priv))
+	}
+	var cost float64
+	seen := make(map[*Scalar]bool)
+	for _, u := range ups {
+		vecRef(u.Dst, true)
+		vecRef(u.Src, false)
+		if !seen[u.Alpha] {
+			seen[u.Alpha] = true
+			refs = append(refs, u.Alpha.ref(region.ReadOnly))
+		}
+		cost += p.mach.AxpyCost(subset.Size())
+	}
+	for _, d := range dots {
+		vecRef(d.V, false)
+		vecRef(d.W, false)
+		cost += p.mach.DotCost(subset.Size())
+	}
+	return refs, cost
+}
+
+// sweepBody builds the real-mode task body of one piece: the updates in
+// order, then the dot partials into scratch slots base..base+k-1.
+func (p *Planner) sweepBody(ci int, subset index.IntervalSet, base int64,
+	scratch *region.Region, ups []VecUpdate, dots []DotPair) func() float64 {
+
+	type boundUpdate struct {
+		kind UpdateKind
+		neg  bool
+		d, s []float64
+		a    []float64
+	}
+	bu := make([]boundUpdate, len(ups))
+	for i, u := range ups {
+		bu[i] = boundUpdate{
+			kind: u.Kind, neg: u.Neg,
+			d: p.vecs[u.Dst].regs[ci].Field("v"),
+			s: p.vecs[u.Src].regs[ci].Field("v"),
+			a: u.Alpha.reg.Field("s"),
+		}
+	}
+	type boundDot struct{ v, w []float64 }
+	bd := make([]boundDot, len(dots))
+	for j, d := range dots {
+		bd[j] = boundDot{
+			v: p.vecs[d.V].regs[ci].Field("v"),
+			w: p.vecs[d.W].regs[ci].Field("v"),
+		}
+	}
+	var out []float64
+	if scratch != nil {
+		out = scratch.Field("s")
+	}
+	return func() float64 {
+		for _, u := range bu {
+			av := u.a[0]
+			if u.neg {
+				av = -av
+			}
+			d, s := u.d, u.s
+			switch u.kind {
+			case UpdAxpy:
+				subset.EachInterval(func(iv index.Interval) {
+					for i := iv.Lo; i <= iv.Hi; i++ {
+						d[i] += av * s[i]
+					}
+				})
+			case UpdXpay:
+				subset.EachInterval(func(iv index.Interval) {
+					for i := iv.Lo; i <= iv.Hi; i++ {
+						d[i] = s[i] + av*d[i]
+					}
+				})
+			}
+		}
+		var first float64
+		for j, d := range bd {
+			var sum float64
+			v, w := d.v, d.w
+			subset.EachInterval(func(iv index.Interval) {
+				for i := iv.Lo; i <= iv.Hi; i++ {
+					sum += v[i] * w[i]
+				}
+			})
+			out[base+int64(j)] = sum
+			if j == 0 {
+				first = sum
+			}
+		}
+		return first
+	}
+}
+
+// batchReduce launches the single combine task of a batched reduction:
+// it folds every dot's per-piece partials (in piece order, matching
+// Dot's reduce) and writes all k output scalars, paying one allreduce
+// instead of k. The returned scalars share the combine task's future;
+// each reads its own value from its backing region.
+func (p *Planner) batchReduce(scratch *region.Region, pieces int, dots []DotPair) []*Scalar {
+	k := len(dots)
+	outs := make([]*Scalar, k)
+	refs := make([]region.Ref, 0, k+1)
+	refs = append(refs, region.Ref{
+		Region: scratch.ID(), Field: "s",
+		Subset: index.Span(0, int64(pieces*k)-1), Priv: region.ReadOnly,
+	})
+	for j := range outs {
+		outs[j] = p.newScalar("dot", 0)
+		refs = append(refs, outs[j].ref(region.WriteDiscard))
+	}
+	var run func() float64
+	if !p.virtual {
+		in := scratch.Field("s")
+		dsts := make([][]float64, k)
+		for j, s := range outs {
+			dsts[j] = s.reg.Field("s")
+		}
+		run = func() float64 {
+			var first float64
+			for j := 0; j < k; j++ {
+				var sum float64
+				for pc := 0; pc < pieces; pc++ {
+					sum += in[pc*k+j]
+				}
+				dsts[j][0] = sum
+				if j == 0 {
+					first = sum
+				}
+			}
+			return first
+		}
+	}
+	fut := p.rt.Launch(taskrt.TaskSpec{
+		Name: "dot.batchreduce", Proc: 0,
+		// One tree reduction regardless of k: the scalars ride the same
+		// allreduce message.
+		Cost: p.mach.AllReduceTime(),
+		Refs: refs,
+		Run:  run, Retryable: true,
+	})
+	for _, s := range outs {
+		s.fut = fut
+		if !p.virtual {
+			val := s.reg.Field("s")
+			s.read = func() float64 { return val[0] }
+		}
+	}
+	return outs
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sparse"
+)
+
+// fusedTestPlanner builds a real single-operator planner over a 2D
+// stencil with deterministic non-trivial vector contents and two
+// workspaces to update.
+func fusedTestPlanner(n int64, pieces int) (p *Planner, a, b VecID) {
+	sol := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := range sol {
+		sol[i] = float64(i%13)/7 - 0.5
+		rhs[i] = float64((i*11)%17)/5 + 0.25
+	}
+	p = NewPlanner(Config{Machine: machine.Lassen(2)})
+	si := p.AddSolVector(sol, index.EqualPartition(index.NewSpace("D", n), pieces))
+	ri := p.AddRHSVector(rhs, index.EqualPartition(index.NewSpace("R", n), pieces))
+	p.AddOperator(sparse.Laplacian2D(n/8, 8), si, ri)
+	p.Finalize()
+	a = p.AllocateWorkspace(SolShape)
+	b = p.AllocateWorkspace(RhsShape)
+	p.Copy(a, SOL)
+	p.Copy(b, RHS)
+	return p, a, b
+}
+
+// bitwiseEqual reports whether two slices are identical bit for bit
+// (no tolerance: fused sweeps must reproduce the unfused arithmetic
+// exactly).
+func bitwiseEqual(x, y []float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFusedUpdateBitwiseMatchesUnfused(t *testing.T) {
+	// The same chained update sequence — axpy into a, then an xpay on a
+	// reading the axpy's result, then an independent axpy into b — run
+	// as separate launches and as one fused sweep.
+	const n, pieces = 64, 4
+	pu, au, bu := fusedTestPlanner(n, pieces)
+	alpha, gamma := pu.Constant(0.75), pu.Constant(-1.25)
+	pu.Axpy(au, alpha, RHS)
+	pu.Xpay(au, gamma, SOL)
+	pu.Axpy(bu, pu.Neg(alpha), SOL)
+	pu.Drain()
+
+	pf, af, bf := fusedTestPlanner(n, pieces)
+	alpha, gamma = pf.Constant(0.75), pf.Constant(-1.25)
+	pf.FusedUpdate(
+		VecUpdate{Kind: UpdAxpy, Dst: af, Alpha: alpha, Src: RHS},
+		VecUpdate{Kind: UpdXpay, Dst: af, Alpha: gamma, Src: SOL},
+		VecUpdate{Kind: UpdAxpy, Dst: bf, Alpha: alpha, Neg: true, Src: SOL},
+	)
+	pf.Drain()
+
+	if !bitwiseEqual(pu.VecData(au, 0), pf.VecData(af, 0)) {
+		t.Error("fused chained axpy/xpay differs bitwise from unfused launches")
+	}
+	if !bitwiseEqual(pu.VecData(bu, 0), pf.VecData(bf, 0)) {
+		t.Error("fused negated axpy differs bitwise from Axpy(Neg(alpha))")
+	}
+}
+
+func TestDotBatchMatchesIndividualDots(t *testing.T) {
+	const n, pieces = 96, 3
+	pu, au, bu := fusedTestPlanner(n, pieces)
+	want := []float64{
+		pu.Dot(au, bu).Value(),
+		pu.Dot(au, au).Value(),
+		pu.Dot(bu, RHS).Value(),
+	}
+	pu.Drain()
+
+	pf, af, bf := fusedTestPlanner(n, pieces)
+	got := pf.DotBatch(DotPair{af, bf}, DotPair{af, af}, DotPair{bf, RHS})
+	pf.Drain()
+	for i, w := range want {
+		g := got[i].Value()
+		// Partials accumulate per piece and combine in piece order on
+		// both paths, so the batch is exact here; the contract only
+		// promises 1e-10 relative for reordered reductions.
+		if relDiff(g, w) > 1e-10 {
+			t.Errorf("dot %d: batch %g vs individual %g", i, g, w)
+		}
+		if err := got[i].Err(); err != nil {
+			t.Errorf("dot %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := 1.0
+	if b > m || -b > m {
+		m = b
+		if m < 0 {
+			m = -m
+		}
+	}
+	return d / m
+}
+
+func TestAxpyDotAndXpayDotMatchUnfused(t *testing.T) {
+	const n, pieces = 64, 4
+	pu, au, bu := fusedTestPlanner(n, pieces)
+	alpha := pu.Constant(-0.375)
+	pu.Axpy(au, alpha, RHS)
+	wantAxpy := pu.Dot(au, au).Value()
+	pu.Xpay(bu, alpha, SOL)
+	wantXpay := pu.Dot(bu, au).Value()
+	pu.Drain()
+
+	pf, af, bf := fusedTestPlanner(n, pieces)
+	alpha = pf.Constant(-0.375)
+	gotAxpy := pf.AxpyDot(af, alpha, RHS, af, af).Value()
+	gotXpay := pf.XpayDot(bf, alpha, SOL, bf, af).Value()
+	pf.Drain()
+
+	if !bitwiseEqual(pu.VecData(au, 0), pf.VecData(af, 0)) ||
+		!bitwiseEqual(pu.VecData(bu, 0), pf.VecData(bf, 0)) {
+		t.Error("AxpyDot/XpayDot updates differ bitwise from unfused launches")
+	}
+	if relDiff(gotAxpy, wantAxpy) > 1e-10 || relDiff(gotXpay, wantXpay) > 1e-10 {
+		t.Errorf("fused dots differ: axpy %g vs %g, xpay %g vs %g",
+			gotAxpy, wantAxpy, gotXpay, wantXpay)
+	}
+}
+
+func TestFusedVirtualRealGraphEquivalence(t *testing.T) {
+	// The virtual-mode contract extends to fused kernels: identical
+	// graphs with and without real storage.
+	real, virt := buildBoth(t, func(p *Planner) {
+		setupSystem(p, 64, 4)
+		w := p.AllocateWorkspace(SolShape)
+		alpha := p.Constant(2)
+		p.FusedUpdate(
+			VecUpdate{Kind: UpdAxpy, Dst: w, Alpha: alpha, Src: RHS},
+			VecUpdate{Kind: UpdXpay, Dst: w, Alpha: alpha, Neg: true, Src: SOL},
+		)
+		d := p.DotBatch(DotPair{w, w}, DotPair{w, RHS})
+		_ = p.AxpyDot(w, d[0], SOL, w, RHS)
+	})
+	if !graphsEqual(t, real, virt) {
+		t.Fatal("fused-op graphs differ between real and virtual planners")
+	}
+}
+
+func TestFusedSweepLaunchCounts(t *testing.T) {
+	// The headline accounting: k updates and d dots over P pieces launch
+	// P + 1 tasks fused (P sweeps + one combine), versus k·P + d·(P+1)
+	// unfused.
+	const pieces = 4
+	p, a, b := fusedTestPlanner(64, pieces)
+	p.Drain()
+	before := p.Runtime().Stats().Launched
+	p.FusedSweep([]VecUpdate{
+		{Kind: UpdAxpy, Dst: a, Alpha: p.Constant(1), Src: RHS},
+		{Kind: UpdAxpy, Dst: b, Alpha: p.Constant(2), Src: SOL},
+	}, []DotPair{{a, a}, {a, b}, {b, b}})
+	p.Drain()
+	if got := p.Runtime().Stats().Launched - before; got != pieces+1 {
+		t.Fatalf("fused sweep launched %d tasks, want %d", got, pieces+1)
+	}
+}
+
+func TestFusedSweepValidation(t *testing.T) {
+	p, a, _ := fusedTestPlanner(32, 2)
+	for name, fn := range map[string]func(){
+		"empty":     func() { p.FusedSweep(nil, nil) },
+		"nil alpha": func() { p.FusedUpdate(VecUpdate{Kind: UpdAxpy, Dst: a, Src: RHS}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	p.Drain()
+}
+
+func TestConcurrentDotBatchLaunches(t *testing.T) {
+	// Many DotBatch rounds launched back to back without draining: the
+	// partial tasks of round i+1 must be correctly ordered against round
+	// i's combine through the shared vectors, and the shared-future
+	// scalars must be race-free under the -race CI run. Several planners
+	// run concurrently to exercise cross-runtime isolation too.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, a, b := fusedTestPlanner(64, 4)
+			var batches [][]*Scalar
+			for i := 0; i < 20; i++ {
+				d := p.DotBatch(DotPair{a, b}, DotPair{b, b})
+				// Interleave an update so later batches see new values.
+				p.FusedUpdate(VecUpdate{Kind: UpdAxpy, Dst: a, Alpha: d[0], Src: b})
+				batches = append(batches, d)
+			}
+			p.Drain()
+			prev := batches[0][0].Value()
+			changed := false
+			for _, d := range batches[1:] {
+				if v := d[0].Value(); v != prev {
+					changed = true
+					prev = v
+				}
+			}
+			if !changed {
+				t.Error("interleaved updates never changed the batched dots")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -19,6 +19,10 @@ type Scalar struct {
 	fut *taskrt.Future
 	// proc is the processor that produced (or holds) the value.
 	proc int
+	// read, when set, extracts this scalar's value from its backing
+	// region after fut resolves. Scalars of a batched reduction share
+	// one producing task (and future) but hold distinct values.
+	read func() float64
 }
 
 // scalarRef is the region reference a task uses to touch a scalar.
@@ -30,7 +34,13 @@ func (s *Scalar) ref(priv region.Privilege) region.Ref {
 // planners the value is whatever the recorded (skipped) computation
 // returned, normally zero; virtual callers should drive iteration counts,
 // not convergence tests, from scalars.
-func (s *Scalar) Value() float64 { return s.fut.Value() }
+func (s *Scalar) Value() float64 {
+	v, err := s.fut.Result()
+	if err == nil && s.read != nil {
+		return s.read()
+	}
+	return v // NaN when the producing task failed or was poisoned
+}
 
 // Err blocks until the scalar is computed and returns its error state:
 // nil on success, the producing task's failure otherwise (including

@@ -4,6 +4,13 @@ import "kdrsolvers/internal/core"
 
 // BiCGStab is van der Vorst's stabilized biconjugate gradient method for
 // general (nonsymmetric) square systems.
+//
+// The fused step batches the tᵀs/tᵀt reductions into one combine, folds
+// the final residual dot into the closing update sweep, and fuses the
+// direction/solution updates (core.FusedSweep), cutting the launches per
+// iteration by over a third against the per-operation formulation while
+// computing bitwise identical iterates. NewBiCGStabUnfused keeps the
+// per-operation formulation for ablation and benchmarks.
 type BiCGStab struct {
 	p                 *core.Planner
 	r, rhat, pv, v    core.VecID
@@ -11,6 +18,7 @@ type BiCGStab struct {
 	rho, alpha, omega *core.Scalar
 	res               *core.Scalar
 	bd                breakdownFlag
+	unfused           bool
 }
 
 // NewBiCGStab builds a BiCGStab solver on a finalized square system.
@@ -36,6 +44,14 @@ func NewBiCGStab(p *core.Planner) *BiCGStab {
 	return s
 }
 
+// NewBiCGStabUnfused builds a BiCGStab solver on the pre-fusion
+// per-operation formulation, kept for ablation and benchmarks.
+func NewBiCGStabUnfused(p *core.Planner) *BiCGStab {
+	s := NewBiCGStab(p)
+	s.unfused = true
+	return s
+}
+
 // Name implements Solver.
 func (s *BiCGStab) Name() string { return "BiCGStab" }
 
@@ -51,6 +67,38 @@ func (s *BiCGStab) Step() {
 	p := s.p
 	p.BeginPhase("bicgstab.step")
 	defer p.TraceEnd(p.TraceBegin("bicgstab.step"))
+	if s.unfused {
+		s.stepUnfused()
+		return
+	}
+	rho := p.Dot(s.rhat, s.r)
+	// Breakdown-guarded divisions, as in the unfused step.
+	beta := p.Mul(guardedDiv(p, &s.bd, "bicgstab", "rho", rho, s.rho),
+		guardedDiv(p, &s.bd, "bicgstab", "omega", s.alpha, s.omega))
+	// p = r + β(p − ω v), one sweep: the xpay chains on the axpy.
+	p.FusedUpdate(
+		core.VecUpdate{Kind: core.UpdAxpy, Dst: s.pv, Alpha: s.omega, Neg: true, Src: s.v},
+		core.VecUpdate{Kind: core.UpdXpay, Dst: s.pv, Alpha: beta, Src: s.r},
+	)
+	p.Matmul(s.v, s.pv) // v = A p
+	alpha := guardedDiv(p, &s.bd, "bicgstab", "rhat·v", rho, p.Dot(s.rhat, s.v))
+	// s (reusing r): r ← r − α v
+	p.FusedUpdate(core.VecUpdate{Kind: core.UpdAxpy, Dst: s.r, Alpha: alpha, Neg: true, Src: s.v})
+	p.Matmul(s.t, s.r) // t = A s
+	d := p.DotBatch(core.DotPair{V: s.t, W: s.r}, core.DotPair{V: s.t, W: s.t})
+	omega := guardedDiv(p, &s.bd, "bicgstab", "t·t", d[0], d[1])
+	// x += α p + ω s; r ← s − ω t; res = r·r — one sweep, one reduce.
+	s.res = p.FusedSweep([]core.VecUpdate{
+		{Kind: core.UpdAxpy, Dst: core.SOL, Alpha: alpha, Src: s.pv},
+		{Kind: core.UpdAxpy, Dst: core.SOL, Alpha: omega, Src: s.r},
+		{Kind: core.UpdAxpy, Dst: s.r, Alpha: omega, Neg: true, Src: s.t},
+	}, []core.DotPair{{V: s.r, W: s.r}})[0]
+	s.rho, s.alpha, s.omega = rho, alpha, omega
+}
+
+// stepUnfused is the per-operation BiCGStab iteration.
+func (s *BiCGStab) stepUnfused() {
+	p := s.p
 	rho := p.Dot(s.rhat, s.r)
 	// Breakdown-guarded divisions: ρ/ρ₋₁, α/ω, ρ/r̂ᵀv, and tᵀs/tᵀt all
 	// vanish on breakdown (ρ ≈ 0 or ω ≈ 0); the guards zero the

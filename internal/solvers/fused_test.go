@@ -1,0 +1,170 @@
+package solvers
+
+import (
+	"math"
+	"testing"
+
+	"kdrsolvers/internal/core"
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/precond"
+	"kdrsolvers/internal/sparse"
+)
+
+// fusedRHS builds a deterministic non-trivial right-hand side.
+func fusedRHS(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64((i*7)%11)/3 - 1.5
+	}
+	return b
+}
+
+// pcgPlanFor is planFor plus a Jacobi preconditioner on the operator.
+func pcgPlanFor(a sparse.Matrix, b []float64, pieces int) *core.Planner {
+	n := int64(len(b))
+	p := core.NewPlanner(core.Config{Machine: machine.Lassen(2)})
+	si := p.AddSolVector(make([]float64, n), index.EqualPartition(index.NewSpace("D", n), pieces))
+	ri := p.AddRHSVector(b, index.EqualPartition(index.NewSpace("R", n), pieces))
+	p.AddOperator(a, si, ri)
+	p.AddPreconditioner(precond.Jacobi(a), si, ri)
+	p.Finalize()
+	return p
+}
+
+// runBitwisePair steps a fused solver and its unfused counterpart in
+// lockstep and requires bit-identical iterates: fusion may only change
+// how launches are batched, never the arithmetic.
+func runBitwisePair(t *testing.T, name string, steps int,
+	plan func() *core.Planner, fused, unfused func(p *core.Planner) Solver) {
+	t.Helper()
+	pf, pu := plan(), plan()
+	sf, su := fused(pf), unfused(pu)
+	for i := 0; i < steps; i++ {
+		sf.Step()
+		su.Step()
+		pf.Drain()
+		pu.Drain()
+		xf, xu := pf.SolData(0), pu.SolData(0)
+		for j := range xf {
+			if xf[j] != xu[j] {
+				t.Fatalf("%s: step %d: fused x[%d]=%v != unfused %v",
+					name, i+1, j, xf[j], xu[j])
+			}
+		}
+		rf := math.Sqrt(sf.ConvergenceMeasure().Value())
+		ru := math.Sqrt(su.ConvergenceMeasure().Value())
+		if d := math.Abs(rf - ru); d > 1e-10*(1+ru) {
+			t.Fatalf("%s: step %d: residual %g (fused) vs %g (unfused)",
+				name, i+1, rf, ru)
+		}
+	}
+}
+
+func TestCGFusedBitwiseMatchesUnfused(t *testing.T) {
+	runBitwisePair(t, "cg", 10,
+		func() *core.Planner { return planFor(sparse.Laplacian2D(8, 8), fusedRHS(64), 4) },
+		func(p *core.Planner) Solver { return NewCG(p) },
+		func(p *core.Planner) Solver { return NewCGUnfused(p) })
+}
+
+func TestPCGFusedBitwiseMatchesUnfused(t *testing.T) {
+	runBitwisePair(t, "pcg", 10,
+		func() *core.Planner { return pcgPlanFor(sparse.Laplacian2D(8, 8), fusedRHS(64), 4) },
+		func(p *core.Planner) Solver { return NewPCG(p) },
+		func(p *core.Planner) Solver { return NewPCGUnfused(p) })
+}
+
+func TestBiCGStabFusedBitwiseMatchesUnfused(t *testing.T) {
+	runBitwisePair(t, "bicgstab", 10,
+		func() *core.Planner { return planFor(convectionDiffusion(64, 0.3), fusedRHS(64), 4) },
+		func(p *core.Planner) Solver { return NewBiCGStab(p) },
+		func(p *core.Planner) Solver { return NewBiCGStabUnfused(p) })
+}
+
+func TestPipeCGAgreesWithCG(t *testing.T) {
+	// Pipelined CG computes the same Krylov iterates up to rounding (its
+	// auxiliary recurrences reorder the arithmetic), so it must reach the
+	// same solution to solver tolerance, not bitwise.
+	mat := sparse.Laplacian2D(8, 8)
+	b := fusedRHS(64)
+	pc := planFor(mat, append([]float64(nil), b...), 4)
+	pp := planFor(mat, append([]float64(nil), b...), 4)
+	rc := Solve(NewCG(pc), 1e-10, 200)
+	rp := Solve(NewPipeCG(pp), 1e-10, 200)
+	pc.Drain()
+	pp.Drain()
+	if !rc.Converged || !rp.Converged {
+		t.Fatalf("convergence: cg=%+v pipecg=%+v", rc, rp)
+	}
+	if d := maxAbsDiff(pc.SolData(0), pp.SolData(0)); d > 1e-8 {
+		t.Fatalf("pipecg solution diverged from cg: max |Δx| = %g", d)
+	}
+	// The pipelined measure lags one update, so it may take an extra
+	// iteration or two — but not a different convergence order.
+	if rp.Iterations > rc.Iterations+3 {
+		t.Errorf("pipecg took %d iterations vs cg's %d", rp.Iterations, rc.Iterations)
+	}
+}
+
+// launchesPerIter measures steady-state task launches per iteration:
+// 3 warmup steps, then a drained 8-step window.
+func launchesPerIter(p *core.Planner, s Solver) float64 {
+	const warmup, window = 3, 8
+	RunIterations(s, warmup)
+	p.Drain()
+	before := p.Runtime().Stats().Launched
+	RunIterations(s, window)
+	p.Drain()
+	return float64(p.Runtime().Stats().Launched-before) / window
+}
+
+func TestFusionLaunchReduction(t *testing.T) {
+	// The PR's acceptance criterion: fused CG launches ≥30% fewer tasks
+	// per iteration than the per-operation formulation, and pipelined CG
+	// fewer still. BiCGStab and PCG ride along with their own floors.
+	spd := func() sparse.Matrix { return sparse.Laplacian2D(8, 8) }
+	measure := func(plan func() *core.Planner, mk func(p *core.Planner) Solver) float64 {
+		p := plan()
+		return launchesPerIter(p, mk(p))
+	}
+	plain := func() *core.Planner { return planFor(spd(), fusedRHS(64), 4) }
+	withJacobi := func() *core.Planner { return pcgPlanFor(spd(), fusedRHS(64), 4) }
+	nonsym := func() *core.Planner { return planFor(convectionDiffusion(64, 0.3), fusedRHS(64), 4) }
+	cases := []struct {
+		name    string
+		plan    func() *core.Planner
+		fused   func(p *core.Planner) Solver
+		unfused func(p *core.Planner) Solver
+		minDrop float64
+	}{
+		{"cg", plain,
+			func(p *core.Planner) Solver { return NewCG(p) },
+			func(p *core.Planner) Solver { return NewCGUnfused(p) }, 0.30},
+		{"pcg", withJacobi,
+			func(p *core.Planner) Solver { return NewPCG(p) },
+			func(p *core.Planner) Solver { return NewPCGUnfused(p) }, 0.25},
+		{"bicgstab", nonsym,
+			func(p *core.Planner) Solver { return NewBiCGStab(p) },
+			func(p *core.Planner) Solver { return NewBiCGStabUnfused(p) }, 0.30},
+	}
+	for _, c := range cases {
+		f := measure(c.plan, c.fused)
+		u := measure(c.plan, c.unfused)
+		drop := 1 - f/u
+		t.Logf("%s: %.1f launches/iter fused vs %.1f unfused (%.1f%% fewer)",
+			c.name, f, u, 100*drop)
+		if drop < c.minDrop {
+			t.Errorf("%s: launch reduction %.1f%% below the %.0f%% floor",
+				c.name, 100*drop, 100*c.minDrop)
+		}
+	}
+	// PipeCG must beat even fused CG on launches: one reduction, one
+	// fully fused update sweep.
+	pipe := measure(plain, func(p *core.Planner) Solver { return NewPipeCG(p) })
+	fcg := measure(plain, func(p *core.Planner) Solver { return NewCG(p) })
+	t.Logf("pipecg: %.1f launches/iter vs fused cg %.1f", pipe, fcg)
+	if pipe >= fcg {
+		t.Errorf("pipecg launches/iter %.1f not below fused cg %.1f", pipe, fcg)
+	}
+}

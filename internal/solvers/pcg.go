@@ -8,11 +8,16 @@ import "kdrsolvers/internal/core"
 // preconditioners to multi-operator systems is future work; package
 // precond provides Jacobi and block-Jacobi constructions that PCG
 // consumes.
+//
+// The fused step batches the r·z and r·r reductions into one combine
+// (core.DotBatch) and fuses the solution/residual updates into one
+// sweep, so an iteration pays two reduction barriers instead of three.
 type PCG struct {
 	p           *core.Planner
 	pv, q, r, z core.VecID
 	rz          *core.Scalar
 	res         *core.Scalar
+	unfused     bool
 }
 
 // NewPCG builds a preconditioned CG solver; the planner must have a
@@ -40,6 +45,14 @@ func NewPCG(p *core.Planner) *PCG {
 	return s
 }
 
+// NewPCGUnfused builds a PCG solver on the pre-fusion per-operation
+// formulation, kept for ablation and benchmarks.
+func NewPCGUnfused(p *core.Planner) *PCG {
+	s := NewPCG(p)
+	s.unfused = true
+	return s
+}
+
 // Name implements Solver.
 func (s *PCG) Name() string { return "PCG" }
 
@@ -51,6 +64,28 @@ func (s *PCG) Step() {
 	p := s.p
 	p.BeginPhase("pcg.step")
 	defer p.TraceEnd(p.TraceBegin("pcg.step"))
+	if s.unfused {
+		s.stepUnfused()
+		return
+	}
+	p.Matmul(s.q, s.pv)
+	alpha := p.Div(s.rz, p.Dot(s.pv, s.q))
+	p.FusedUpdate(
+		core.VecUpdate{Kind: core.UpdAxpy, Dst: core.SOL, Alpha: alpha, Src: s.pv},
+		core.VecUpdate{Kind: core.UpdAxpy, Dst: s.r, Alpha: alpha, Neg: true, Src: s.q},
+	)
+	p.PSolve(s.z, s.r)
+	d := p.DotBatch(core.DotPair{V: s.r, W: s.z}, core.DotPair{V: s.r, W: s.r})
+	rzNew := d[0]
+	beta := p.Div(rzNew, s.rz)
+	p.Xpay(s.pv, beta, s.z)
+	s.rz = rzNew
+	s.res = d[1]
+}
+
+// stepUnfused is the per-operation PCG iteration.
+func (s *PCG) stepUnfused() {
+	p := s.p
 	p.Matmul(s.q, s.pv)
 	alpha := p.Div(s.rz, p.Dot(s.pv, s.q))
 	p.Axpy(core.SOL, alpha, s.pv)

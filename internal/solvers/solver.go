@@ -37,14 +37,24 @@ type Solver interface {
 }
 
 // New constructs the named solver on a planner. Recognized names are
-// "cg", "bicgstab", "gmres" (restart 10, as in the paper's benchmarks),
-// "minres", "bicg", "pcg", and "cgs". It panics on an unknown name.
+// "cg", "pipecg", "bicgstab", "gmres" (restart 10, as in the paper's
+// benchmarks), "minres", "bicg", "pcg", and "cgs". The ablation names
+// "cg-unfused", "pcg-unfused", and "bicgstab-unfused" select the
+// pre-fusion per-operation formulations — the paper's measured
+// configuration — and are deliberately left out of Names. It panics on
+// an unknown name.
 func New(name string, p *core.Planner) Solver {
 	switch name {
 	case "cg":
 		return NewCG(p)
+	case "cg-unfused":
+		return NewCGUnfused(p)
+	case "pipecg":
+		return NewPipeCG(p)
 	case "bicgstab":
 		return NewBiCGStab(p)
+	case "bicgstab-unfused":
+		return NewBiCGStabUnfused(p)
 	case "gmres":
 		return NewGMRES(p, 10)
 	case "minres":
@@ -53,6 +63,8 @@ func New(name string, p *core.Planner) Solver {
 		return NewBiCG(p)
 	case "pcg":
 		return NewPCG(p)
+	case "pcg-unfused":
+		return NewPCGUnfused(p)
 	case "cgs":
 		return NewCGS(p)
 	}
@@ -60,7 +72,7 @@ func New(name string, p *core.Planner) Solver {
 }
 
 // Names lists the recognized solver names.
-var Names = []string{"cg", "bicgstab", "gmres", "minres", "bicg", "pcg", "cgs"}
+var Names = []string{"cg", "pipecg", "bicgstab", "gmres", "minres", "bicg", "pcg", "cgs"}
 
 // RunIterations executes exactly n steps without convergence checks —
 // the paper's benchmark mode (tolerances were set to extreme values to
@@ -166,9 +178,10 @@ func Solve(s Solver, tol float64, maxIter int) Result {
 }
 
 // residualInit launches r ← b − A·x into workspace r, the common
-// initialization of every method here.
+// initialization of every method here. The negate-and-add is one xpay
+// sweep (r ← b + (−1)·r), bitwise identical to the scal-then-axpy pair
+// it replaces: IEEE negation is exact and addition commutes.
 func residualInit(p *core.Planner, r core.VecID) {
-	p.Matmul(r, core.SOL)              // r = Ax
-	p.Scal(r, p.Constant(-1))          // r = -Ax
-	p.Axpy(r, p.Constant(1), core.RHS) // r = b - Ax
+	p.Matmul(r, core.SOL)               // r = Ax
+	p.Xpay(r, p.Constant(-1), core.RHS) // r = b - Ax
 }

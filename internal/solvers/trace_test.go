@@ -112,7 +112,7 @@ func TestAllSolversTracedMatchUntraced(t *testing.T) {
 			continue // needs a preconditioner; same trace scope as cg
 		}
 		mat := a
-		if name == "cg" || name == "minres" {
+		if name == "cg" || name == "pipecg" || name == "minres" {
 			mat = spd
 		}
 		pa := planFor(mat, append([]float64(nil), b...), 2)

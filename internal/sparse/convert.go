@@ -72,3 +72,24 @@ func Convert(a *CSR, format string) Matrix {
 // Formats lists every storage format Convert understands, in Figure 3
 // order.
 var Formats = []string{"Dense", "COO", "CSR", "CSC", "ELL", "ELL'", "DIA", "BCSR", "BCSC"}
+
+// CSRFromMatrix re-encodes any Matrix back to CSR by densifying it and
+// dropping explicit zeros. It materializes the full rows×cols dense
+// form, so it is meant for conformance tests and small matrices, not as
+// a production conversion path. Zero-padding introduced by a format
+// (ELL fill, block fill in BCSR/BCSC) is discarded, so a round trip
+// through any format yields the same nonzero structure the format
+// actually represents.
+func CSRFromMatrix(m Matrix) *CSR {
+	rows, cols := Dims(m)
+	d := ToDense(m)
+	var coords []Coord
+	for i := int64(0); i < rows; i++ {
+		for j := int64(0); j < cols; j++ {
+			if v := d[i*cols+j]; v != 0 {
+				coords = append(coords, Coord{Row: i, Col: j, Val: v})
+			}
+		}
+	}
+	return CSRFromCoords(rows, cols, coords)
+}
