@@ -4,21 +4,33 @@
 // numbers land in a machine-readable artifact instead of scrolling away
 // in a CI log:
 //
-//	go run ./cmd/benchlaunch -o BENCH_pr5.json
+//	go run ./cmd/benchlaunch -strict -o BENCH_pr6.json
+//
+// The report carries performance gates (spliced launch under 1 µs with
+// zero allocations, replay faster than analysis, fused CG launching
+// ≥30% fewer tasks than unfused, adaptive format selection within 10%
+// of the best hand-picked format). A violated gate prints a WARNING;
+// with -strict — the CI default — it fails the run with exit status 1
+// so regressions break the build instead of scrolling away.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"strings"
 	"testing"
+	"time"
 
 	"kdrsolvers/internal/core"
 	"kdrsolvers/internal/index"
 	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/region"
 	"kdrsolvers/internal/solvers"
 	"kdrsolvers/internal/sparse"
+	"kdrsolvers/internal/taskrt"
 )
 
 // launchResult is one runtime-launch configuration's measurement.
@@ -36,6 +48,22 @@ type launchResult struct {
 	LaunchNsSpliced  float64 `json:"launch_ns_spliced,omitempty"`
 }
 
+// hotPathResult is the dedicated spliced-launch microbenchmark: a
+// quiescent runtime replaying a three-task trace through LaunchBatch
+// with detached specs and graph retention off — the launch path with
+// nothing else on the clock.
+type hotPathResult struct {
+	// NsPerLaunch is the mean cost of one spliced launch from the
+	// runtime's own launch-path timer.
+	NsPerLaunch float64 `json:"ns_per_launch"`
+	// AllocsPerLaunch is heap allocations per launch on the replay path
+	// (testing.AllocsPerRun over whole iterations, divided by launches).
+	AllocsPerLaunch float64 `json:"allocs_per_launch"`
+	// IterNsPerLaunch is the full replay iteration wall time — trace
+	// scope, batch launch, execution, drain — divided by launches.
+	IterNsPerLaunch float64 `json:"iter_ns_per_launch"`
+}
+
 type spmvResult struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	MBPerS  float64 `json:"mb_per_s"`
@@ -51,12 +79,32 @@ type fusionResult struct {
 	UsPerStep float64 `json:"us_per_step"`
 }
 
+// autoResult compares adaptive format selection against every
+// hand-picked format on one matrix structure.
+type autoResult struct {
+	// FormatNs is the SpMV cost of each hand-picked format.
+	FormatNs map[string]float64 `json:"format_ns"`
+	// Best names the fastest hand-picked format.
+	Best   string  `json:"best"`
+	BestNs float64 `json:"best_ns"`
+	// AutoNs is the SpMV cost of the AutoSelect composite; Chosen lists
+	// the format it picked per row band.
+	AutoNs float64  `json:"auto_ns"`
+	Chosen []string `json:"chosen"`
+	// Ratio is AutoNs/BestNs; the gate requires ≤ 1.10.
+	Ratio float64 `json:"ratio"`
+}
+
 type report struct {
 	RuntimeLaunch map[string]launchResult `json:"runtime_launch"`
+	LaunchHotPath hotPathResult           `json:"launch_hot_path"`
 	SpMVFormats   map[string]spmvResult   `json:"spmv_formats"`
 	// SolverFusion compares fused and per-operation solver formulations,
 	// plus pipelined CG, on the same system.
 	SolverFusion map[string]fusionResult `json:"solver_fusion"`
+	// FormatAuto is the adaptive-selection sweep, one entry per matrix
+	// structure.
+	FormatAuto map[string]autoResult `json:"format_auto"`
 }
 
 // solverPlanner builds a real (non-virtual) planner on lap2d:64x64 and
@@ -120,6 +168,49 @@ func measureLaunch(tracing bool) launchResult {
 		res.LaunchNsSpliced = float64(spliced.Mean().Nanoseconds())
 	}
 	return res
+}
+
+// measureHotPath runs the spliced-launch microbenchmark: three detached
+// stable-region tasks per trace instance, graph retention off, pools
+// warm — the steady-state replay launch with nothing else on the clock.
+func measureHotPath() hotPathResult {
+	rt := taskrt.New()
+	rt.SetGraphRetention(false)
+	sp := index.NewSpace("D", 256)
+	a := region.New("hp.a", sp, "x")
+	b := region.New("hp.b", sp, "x")
+	ref := func(r *region.Region, priv region.Privilege) region.Ref {
+		return region.Ref{Region: r.ID(), Field: "x", Subset: index.Span(0, 255), Priv: priv}
+	}
+	noop := func() float64 { return 0 }
+	specs := []taskrt.TaskSpec{
+		{Name: "produce", Refs: []region.Ref{ref(a, region.WriteDiscard)}, Run: noop, Detached: true},
+		{Name: "transform", Refs: []region.Ref{ref(a, region.ReadOnly), ref(b, region.WriteDiscard)}, Run: noop, Detached: true},
+		{Name: "consume", Refs: []region.Ref{ref(b, region.ReadWrite)}, Run: noop, Detached: true},
+	}
+	iter := func() {
+		rt.BeginTrace("hotpath")
+		rt.LaunchBatch(specs)
+		rt.EndTrace()
+		rt.Drain()
+	}
+	for i := 0; i < 10000; i++ {
+		iter()
+	}
+	allocs := testing.AllocsPerRun(2000, iter) / float64(len(specs))
+
+	const n = 100000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		iter()
+	}
+	wall := time.Since(start)
+	_, spliced := rt.LaunchTiming()
+	return hotPathResult{
+		NsPerLaunch:     float64(spliced.Mean().Nanoseconds()),
+		AllocsPerLaunch: allocs,
+		IterNsPerLaunch: float64(wall.Nanoseconds()) / float64(n*len(specs)),
+	}
 }
 
 // measureFusion reports launches/iteration and µs/step for one solver
@@ -199,8 +290,195 @@ func measureSpMV() map[string]spmvResult {
 	return out
 }
 
+// spmvNs times y += A·x with a fixed budget: repeated timed batches,
+// best batch mean kept. Cheaper than testing.Benchmark for the 30-cell
+// auto sweep, and the min is what a tuner should be judged against.
+func spmvNs(m sparse.Matrix, y, x []float64) float64 {
+	m.MultiplyAdd(y, x) // warm caches and lazy structures
+	best := float64(0)
+	for r := 0; r < 5; r++ {
+		const batch = 50
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			m.MultiplyAdd(y, x)
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(batch)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// spmvNsInterleaved times y += A·x for every candidate in lockstep
+// rounds (one batch per candidate per round) and returns each
+// candidate's best batch mean.
+func spmvNsInterleaved(ms []sparse.Matrix, y, x []float64, batch int) []float64 {
+	for _, m := range ms {
+		m.MultiplyAdd(y, x) // warm caches and lazy structures
+	}
+	best := make([]float64, len(ms))
+	const rounds = 9
+	for r := 0; r < rounds; r++ {
+		for i, m := range ms {
+			start := time.Now()
+			for b := 0; b < batch; b++ {
+				m.MultiplyAdd(y, x)
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(batch)
+			if best[i] == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	return best
+}
+
+// autoMatrices are the structures the adaptive tuner is judged on: a
+// banded stencil, a scattered random matrix, and a mixed structure whose
+// bands genuinely want different formats.
+func autoMatrices() map[string]*sparse.CSR {
+	r := rand.New(rand.NewSource(42))
+	// The scattered matrix is big enough that x far exceeds L2: the
+	// kernels are then genuinely gather-bound, which is the regime the
+	// tuner's scattered-structure rates model. (A small random matrix
+	// whose x fits in L1 measures loop microarchitecture, not structure,
+	// and its format ranking flips from process to process with heap
+	// layout luck.)
+	random := func(rows, cols int64, perRow int) *sparse.CSR {
+		seen := map[[2]int64]bool{}
+		var coords []sparse.Coord
+		add := func(i, j int64, v float64) {
+			if !seen[[2]int64{i, j}] {
+				seen[[2]int64{i, j}] = true
+				coords = append(coords, sparse.Coord{Row: i, Col: j, Val: v})
+			}
+		}
+		for i := int64(0); i < rows; i++ {
+			add(i, i%cols, 1)
+			for e := 0; e < perRow; e++ {
+				add(i, r.Int63n(cols), r.Float64()-0.5)
+			}
+		}
+		return sparse.CSRFromCoords(rows, cols, coords)
+	}
+	var mixed []sparse.Coord
+	const mn = 512
+	for i := int64(0); i < 64; i++ { // dense head block
+		for j := int64(0); j < 64; j++ {
+			mixed = append(mixed, sparse.Coord{Row: i, Col: j, Val: r.Float64() + 0.1})
+		}
+	}
+	for i := int64(64); i < mn; i++ { // tridiagonal tail
+		for _, j := range []int64{i - 1, i, i + 1} {
+			if j >= 0 && j < mn {
+				mixed = append(mixed, sparse.Coord{Row: i, Col: j, Val: r.Float64() + 0.1})
+			}
+		}
+	}
+	return map[string]*sparse.CSR{
+		"lap2d_64x64":     sparse.Laplacian2D(64, 64),
+		"random_32768":    random(32768, 32768, 5),
+		"mixed_dense_tri": sparse.CSRFromCoords(mn, mn, mixed),
+	}
+}
+
+func measureFormatAuto() map[string]autoResult {
+	out := make(map[string]autoResult)
+	for name, a := range autoMatrices() {
+		rows, cols := sparse.Dims(a)
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		for i := range x {
+			x[i] = float64(i%7) + 0.5
+		}
+		// Time every candidate interleaved, round-robin, across several
+		// independently converted instances each, and keep each
+		// candidate's overall best. Sequential passes let a system-wide
+		// slowdown land entirely on whichever candidate happens to be
+		// under the timer, and a single allocation can be 10–20% slower
+		// than an identical twin by page-placement luck alone; both
+		// effects swing the auto/best ratio far more than any real format
+		// difference, so both are averaged out of the comparison.
+		// Formats whose storage explodes on this structure (dense arrays
+		// of a huge sparse matrix, DIA with one diagonal per entry) are
+		// left out of the hand-picked sweep: nobody picks a layout that
+		// inflates the matrix by orders of magnitude, and converting it
+		// would dominate the benchmark's memory and time.
+		prof := sparse.ProfileCSR(a)
+		storage := func(f string) float64 {
+			switch f {
+			case "Dense":
+				return 8 * float64(prof.Rows) * float64(prof.Cols)
+			case "DIA":
+				return 8 * float64(prof.Diags) * float64(prof.Cols)
+			case "ELL":
+				return 16 * float64(prof.Rows) * float64(prof.MaxRowLen)
+			case "ELL'":
+				return 16 * float64(prof.Cols) * float64(prof.MaxColLen)
+			}
+			return 24 * float64(prof.NNZ)
+		}
+		var formats, skipped []string
+		for _, f := range sparse.Formats {
+			if storage(f) > 256<<20 {
+				skipped = append(skipped, f)
+				continue
+			}
+			formats = append(formats, f)
+		}
+		if len(skipped) > 0 {
+			fmt.Printf("benchlaunch: %s: skipping %s (storage would exceed 256 MiB)\n",
+				name, strings.Join(skipped, ", "))
+		}
+		batch := 50
+		if prof.NNZ > 100_000 {
+			batch = 5 // keep big-matrix timing slices a few ms each
+		}
+
+		const trials = 3
+		tuned := sparse.AutoSelect(a, 4)
+		var cands []sparse.Matrix
+		for t := 0; t < trials; t++ {
+			for _, f := range formats {
+				cands = append(cands, sparse.Convert(a, f))
+			}
+			if t == 0 {
+				cands = append(cands, tuned)
+			} else {
+				cands = append(cands, sparse.AutoSelect(a, 4))
+			}
+		}
+		ns := spmvNsInterleaved(cands, y, x, batch)
+
+		res := autoResult{FormatNs: make(map[string]float64, len(formats))}
+		stride := len(formats) + 1
+		for t := 0; t < trials; t++ {
+			for i, f := range formats {
+				v := ns[t*stride+i]
+				if cur, ok := res.FormatNs[f]; !ok || v < cur {
+					res.FormatNs[f] = v
+				}
+			}
+			if v := ns[t*stride+stride-1]; res.AutoNs == 0 || v < res.AutoNs {
+				res.AutoNs = v
+			}
+		}
+		for _, f := range formats {
+			if res.Best == "" || res.FormatNs[f] < res.BestNs {
+				res.Best, res.BestNs = f, res.FormatNs[f]
+			}
+		}
+		res.Chosen = tuned.SelectedFormats()
+		res.Ratio = res.AutoNs / res.BestNs
+		out[name] = res
+	}
+	return out
+}
+
 func main() {
-	out := flag.String("o", "BENCH_pr5.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_pr6.json", "output file ('-' for stdout)")
+	strict := flag.Bool("strict", false, "exit non-zero when a performance gate fails (CI sets this)")
 	flag.Parse()
 
 	rep := report{
@@ -208,16 +486,43 @@ func main() {
 			"replay_off": measureLaunch(false),
 			"replay_on":  measureLaunch(true),
 		},
-		SpMVFormats:  measureSpMV(),
-		SolverFusion: measureSolverFusion(),
+		LaunchHotPath: measureHotPath(),
+		SpMVFormats:   measureSpMV(),
+		SolverFusion:  measureSolverFusion(),
+		FormatAuto:    measureFormatAuto(),
 	}
-	if on, off := rep.RuntimeLaunch["replay_on"], rep.RuntimeLaunch["replay_off"]; on.NsPerOp >= off.NsPerOp {
-		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: replay_on (%.0f ns/op) not faster than replay_off (%.0f ns/op)\n",
-			on.NsPerOp, off.NsPerOp)
+
+	var failures []string
+	gate := func(ok bool, format string, args ...any) {
+		if !ok {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
 	}
-	if f, u := rep.SolverFusion["cg_fused"], rep.SolverFusion["cg_unfused"]; f.LaunchesPerIter > 0.7*u.LaunchesPerIter {
-		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: fused CG launches/iter (%.1f) not >=30%% below unfused (%.1f)\n",
-			f.LaunchesPerIter, u.LaunchesPerIter)
+	hp := rep.LaunchHotPath
+	gate(hp.NsPerLaunch < 1000,
+		"spliced launch %.0f ns/launch, gate < 1000 ns", hp.NsPerLaunch)
+	gate(hp.AllocsPerLaunch == 0,
+		"replay path allocates %.2f allocs/launch, gate == 0", hp.AllocsPerLaunch)
+	// Whole-step ns/op is execution-dominated and too noisy to gate on a
+	// shared machine; gate the deterministic replay claims instead: replay
+	// eliminates analysis scans, and the spliced launch path beats the
+	// analyzed one under identical load.
+	on := rep.RuntimeLaunch["replay_on"]
+	gate(on.AnalysisScansPerIter == 0,
+		"replay_on still scans %.0f history entries/iter, gate == 0", on.AnalysisScansPerIter)
+	gate(on.LaunchNsSpliced > 0 && on.LaunchNsSpliced < on.LaunchNsAnalyzed,
+		"spliced launch (%.0f ns) not cheaper than analyzed (%.0f ns)",
+		on.LaunchNsSpliced, on.LaunchNsAnalyzed)
+	f, u := rep.SolverFusion["cg_fused"], rep.SolverFusion["cg_unfused"]
+	gate(f.LaunchesPerIter <= 0.7*u.LaunchesPerIter,
+		"fused CG launches/iter (%.1f) not >=30%% below unfused (%.1f)", f.LaunchesPerIter, u.LaunchesPerIter)
+	for name, ar := range rep.FormatAuto {
+		gate(ar.Ratio <= 1.10,
+			"%s: auto (%.0f ns) is %.2fx the best hand-picked format %s (%.0f ns), gate <= 1.10x",
+			name, ar.AutoNs, ar.Ratio, ar.Best, ar.BestNs)
+	}
+	for _, msg := range failures {
+		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: %s\n", msg)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -228,11 +533,15 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchlaunch:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchlaunch:", err)
+	if *strict && len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchlaunch: %d gate(s) failed under -strict\n", len(failures))
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
 }

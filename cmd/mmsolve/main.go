@@ -53,6 +53,7 @@ func main() {
 	tol := flag.Float64("tol", 1e-8, "residual tolerance")
 	maxIter := flag.Int("maxiter", 10000, "iteration limit")
 	pieces := flag.Int("pieces", 8, "vector pieces")
+	format := flag.String("format", "csr", "operator storage: a format name (csr, coo, dia, ...) or 'auto' to tune each row band")
 	rhs := flag.String("rhs", "Aones", "right-hand side: 'Aones' (b = A·1) or 'ones' (b = 1)")
 	profile := flag.Bool("profile", false, "record task timings; print per-iteration telemetry and a per-task breakdown")
 	trace := flag.Bool("trace", true, "memoize dependence analysis of repeated solver iterations (trace replay)")
@@ -111,7 +112,18 @@ func main() {
 	p := core.NewPlanner(core.Config{Machine: machine.Lassen(1)})
 	si := p.AddSolVector(x, index.EqualPartition(index.NewSpace("D", n), *pieces))
 	ri := p.AddRHSVector(b, index.EqualPartition(index.NewSpace("R", n), *pieces))
-	p.AddOperator(a, si, ri)
+	if strings.EqualFold(*format, "auto") {
+		tuned := p.AddOperatorAuto(a, si, ri)
+		fmt.Printf("format: auto -> %s\n", strings.Join(tuned.SelectedFormats(), " "))
+	} else {
+		canon := canonicalFormat(*format)
+		if canon == "" {
+			fmt.Fprintf(os.Stderr, "mmsolve: unknown format %q (have %s, Auto)\n",
+				*format, strings.Join(sparse.Formats, ", "))
+			os.Exit(2)
+		}
+		p.AddOperator(sparse.Convert(a, canon), si, ri)
+	}
 	if *solverName == "pcg" {
 		p.AddPreconditioner(precond.Jacobi(a), si, ri)
 	}
@@ -250,6 +262,18 @@ func loadMatrix(arg string) (*sparse.CSR, error) {
 	}
 	defer f.Close()
 	return sparse.ReadMatrixMarket(f)
+}
+
+// canonicalFormat resolves a case-insensitive user-supplied format name
+// ("csr", "ELL'", "bcsr") to its canonical sparse.Formats spelling, or ""
+// when no format matches.
+func canonicalFormat(name string) string {
+	for _, f := range sparse.Formats {
+		if strings.EqualFold(name, f) {
+			return f
+		}
+	}
+	return ""
 }
 
 func injectedCount(in *fault.Injector) int64 {

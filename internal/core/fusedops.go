@@ -142,7 +142,7 @@ func (p *Planner) FusedSweep(ups []VecUpdate, dots []DotPair) []*Scalar {
 		} else if k > 0 {
 			name = "fused.updatedot"
 		}
-		p.rt.Launch(taskrt.TaskSpec{
+		p.batch(taskrt.TaskSpec{
 			Name: name, Proc: proc, Cost: cost, Refs: refs, Run: run,
 			// A sweep with updates read-modify-writes its dsts, so a
 			// partial first attempt would double-apply; a pure dot batch
@@ -150,6 +150,7 @@ func (p *Planner) FusedSweep(ups []VecUpdate, dots []DotPair) []*Scalar {
 			Retryable: len(ups) == 0,
 		})
 	})
+	p.flushBatch()
 
 	if k == 0 {
 		return nil

@@ -110,6 +110,9 @@ func (p *Planner) runMultiOp(ops []opEntry, dv, sv vec, adjoint, pre bool) {
 			}
 		}
 	}
+	// The whole product — every operator's multiply-adds plus the
+	// explicit zero fills — submits as one fused batch.
+	p.flushBatch()
 }
 
 // launchMultiplyAdd launches one multiply-add task for one output piece of
@@ -152,7 +155,7 @@ func (p *Planner) launchMultiplyAdd(name string, opIdx, color int, op *opEntry,
 			return 0
 		}
 	}
-	p.rt.Launch(taskrt.TaskSpec{
+	p.batch(taskrt.TaskSpec{
 		Name: name, Proc: proc,
 		Cost: p.mach.SpMVCost(kset.Size(), outSet.Size()),
 		Refs: []region.Ref{
@@ -181,7 +184,7 @@ func (p *Planner) zeroPiece(reg *region.Region, subset index.IntervalSet, proc i
 			return 0
 		}
 	}
-	p.rt.Launch(taskrt.TaskSpec{
+	p.batch(taskrt.TaskSpec{
 		Name: "zero", Proc: proc,
 		Cost: p.mach.Blas1Cost(subset.Size()),
 		Refs: []region.Ref{pieceRef(reg, subset, region.WriteDiscard)},

@@ -109,8 +109,8 @@ func TestMixedFormatEveryPair(t *testing.T) {
 	want := make([]float64, n)
 	sparse.SpMV(full, want, x)
 
-	for _, f1 := range sparse.Formats {
-		for _, f2 := range []string{"COO", "ELL", "Dense"} {
+	for _, f1 := range append(append([]string(nil), sparse.Formats...), "Auto") {
+		for _, f2 := range []string{"COO", "ELL", "Dense", "Auto"} {
 			p := NewPlanner(Config{Machine: machine.Lassen(1)})
 			xc := append([]float64{}, x...)
 			si := p.AddSolVector(xc, index.EqualPartition(index.NewSpace("D", n), 2))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"kdrsolvers/internal/dpart"
 	"kdrsolvers/internal/index"
@@ -107,6 +108,13 @@ type Planner struct {
 	scalarSeq int
 	tracing   bool
 	traceOpen bool
+
+	// specBuf collects the per-piece specs of one logical operation so
+	// they submit through a single LaunchBatch (one runtime-lock round
+	// trip per sweep instead of per task). The buffer is reused across
+	// operations; Planner methods are single-goroutine, so no launch can
+	// interleave with an open batch.
+	specBuf []taskrt.TaskSpec
 }
 
 // NewPlanner returns an empty planner running on a fresh task runtime.
@@ -299,6 +307,30 @@ func (p *Planner) AddOperator(mat sparse.Matrix, solIdx, rhsIdx int) {
 	p.ops = append(p.ops, opEntry{mat: mat, solIdx: solIdx, rhsIdx: rhsIdx})
 }
 
+// AddOperatorAuto adds a CSR operator after adaptive format tuning: the
+// matrix's row bands are taken from the range component's canonical
+// partition (so every task piece computes over a single tile), each band
+// is profiled, and each is converted to the format the calibrated model
+// predicts fastest for its local structure. It returns the tuned
+// composite so callers can report the chosen formats.
+func (p *Planner) AddOperatorAuto(a *sparse.CSR, solIdx, rhsIdx int) *sparse.Auto {
+	p.mustNotBeFinalized()
+	if rhsIdx < 0 || rhsIdx >= len(p.rhs) {
+		panic("core: AddOperatorAuto component index out of range")
+	}
+	pieces := p.rhs[rhsIdx].part.Pieces()
+	starts := make([]int64, 0, len(pieces))
+	for _, pc := range pieces {
+		if !pc.Empty() {
+			starts = append(starts, pc.Bounds().Lo)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	tuned := sparse.AutoSelectBands(a, starts)
+	p.AddOperator(tuned, solIdx, rhsIdx)
+	return tuned
+}
+
 // AddPreconditioner adds a component of the preconditioner P_total, a map
 // from the range space back to the domain space: mat maps right-hand-side
 // component rhsIdx to solution component solIdx.
@@ -484,6 +516,29 @@ func (p *Planner) mustNotBeFinalized() {
 	if p.finalized {
 		panic("core: planner already finalized")
 	}
+}
+
+// batch appends one piece task to the planner's pending detached batch.
+// The bulk per-piece launches of vector sweeps and products never read
+// their futures, so the whole batch runs detached — LaunchBatch then
+// returns nil and the launch path allocates no futures at all.
+func (p *Planner) batch(spec taskrt.TaskSpec) {
+	spec.Detached = true
+	p.specBuf = append(p.specBuf, spec)
+}
+
+// flushBatch submits the pending piece tasks as one fused LaunchBatch
+// and resets the buffer for reuse. Entries are scrubbed so the buffer
+// does not retain task closures past the launch.
+func (p *Planner) flushBatch() {
+	if len(p.specBuf) == 0 {
+		return
+	}
+	p.rt.LaunchBatch(p.specBuf)
+	for i := range p.specBuf {
+		p.specBuf[i] = taskrt.TaskSpec{}
+	}
+	p.specBuf = p.specBuf[:0]
 }
 
 // checkShapes panics unless both vectors exist and have compatible

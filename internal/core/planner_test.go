@@ -70,7 +70,7 @@ func TestMatmulAllFormats(t *testing.T) {
 	x := randVec(r, 16)
 	want := make([]float64, 16)
 	sparse.SpMV(csr, want, x)
-	for _, f := range sparse.Formats {
+	for _, f := range append(append([]string(nil), sparse.Formats...), "Auto") {
 		m := sparse.Convert(csr, f)
 		xc := make([]float64, 16)
 		copy(xc, x)

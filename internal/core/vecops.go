@@ -50,13 +50,14 @@ func (p *Planner) Zero(dst VecID) {
 				return 0
 			}
 		}
-		p.rt.Launch(taskrt.TaskSpec{
+		p.batch(taskrt.TaskSpec{
 			Name: "zero", Proc: proc,
 			Cost: p.mach.Blas1Cost(subset.Size()),
 			Refs: []region.Ref{pieceRef(dv.regs[ci], subset, region.WriteDiscard)},
 			Run:  run, Retryable: true,
 		})
 	})
+	p.flushBatch()
 }
 
 // Copy performs dst ← src componentwise.
@@ -77,7 +78,7 @@ func (p *Planner) Copy(dst, src VecID) {
 				return 0
 			}
 		}
-		p.rt.Launch(taskrt.TaskSpec{
+		p.batch(taskrt.TaskSpec{
 			Name: "copy", Proc: proc,
 			Cost: p.mach.CopyCost(subset.Size()),
 			Refs: []region.Ref{
@@ -87,6 +88,7 @@ func (p *Planner) Copy(dst, src VecID) {
 			Run: run, Retryable: true,
 		})
 	})
+	p.flushBatch()
 }
 
 // Scal performs dst ← α·dst.
@@ -108,7 +110,7 @@ func (p *Planner) Scal(dst VecID, alpha *Scalar) {
 				return 0
 			}
 		}
-		p.rt.Launch(taskrt.TaskSpec{
+		p.batch(taskrt.TaskSpec{
 			Name: "scal", Proc: proc,
 			Cost: p.mach.ScalCost(subset.Size()),
 			Refs: []region.Ref{
@@ -118,6 +120,7 @@ func (p *Planner) Scal(dst VecID, alpha *Scalar) {
 			Run: run,
 		})
 	})
+	p.flushBatch()
 }
 
 // Axpy performs dst ← dst + α·src.
@@ -139,7 +142,7 @@ func (p *Planner) Axpy(dst VecID, alpha *Scalar, src VecID) {
 				return 0
 			}
 		}
-		p.rt.Launch(taskrt.TaskSpec{
+		p.batch(taskrt.TaskSpec{
 			Name: "axpy", Proc: proc,
 			Cost: p.mach.AxpyCost(subset.Size()),
 			Refs: []region.Ref{
@@ -150,6 +153,7 @@ func (p *Planner) Axpy(dst VecID, alpha *Scalar, src VecID) {
 			Run: run,
 		})
 	})
+	p.flushBatch()
 }
 
 // Xpay performs dst ← src + α·dst.
@@ -171,7 +175,7 @@ func (p *Planner) Xpay(dst VecID, alpha *Scalar, src VecID) {
 				return 0
 			}
 		}
-		p.rt.Launch(taskrt.TaskSpec{
+		p.batch(taskrt.TaskSpec{
 			Name: "xpay", Proc: proc,
 			Cost: p.mach.AxpyCost(subset.Size()),
 			Refs: []region.Ref{
@@ -182,6 +186,7 @@ func (p *Planner) Xpay(dst VecID, alpha *Scalar, src VecID) {
 			Run: run,
 		})
 	})
+	p.flushBatch()
 }
 
 // Dot computes the inner product v·w as a deferred scalar. Per-piece
@@ -224,7 +229,7 @@ func (p *Planner) Dot(v, w VecID) *Scalar {
 				return sum
 			}
 		}
-		p.rt.Launch(taskrt.TaskSpec{
+		p.batch(taskrt.TaskSpec{
 			Name: "dot.partial", Proc: proc,
 			Cost: p.mach.DotCost(subset.Size()),
 			Refs: []region.Ref{
@@ -235,6 +240,7 @@ func (p *Planner) Dot(v, w VecID) *Scalar {
 			Run: run, Retryable: true,
 		})
 	})
+	p.flushBatch()
 
 	out := p.newScalar("dot", 0)
 	var run func() float64

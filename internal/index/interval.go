@@ -247,6 +247,56 @@ func (s IntervalSet) Subtract(o IntervalSet) IntervalSet {
 	return out
 }
 
+// SubtractInto computes the set difference s \ o like Subtract, but
+// appends the result intervals to buf (reset to length zero first)
+// instead of allocating, growing buf only when its capacity is too
+// small. It returns the result set, whose storage aliases the returned
+// buffer; callers own both and must copy the intervals out (or stop
+// using the buffer) before the next SubtractInto call with the same
+// buffer. s and o are never modified, so s may itself be backed by a
+// previous result. This is the hot-path form used by the task runtime's
+// writer-shadow updates, which run once per launch reference.
+func (s IntervalSet) SubtractInto(o IntervalSet, buf []Interval) (IntervalSet, []Interval) {
+	out := buf[:0]
+	j := 0
+	for _, iv := range s.ivs {
+		lo := iv.Lo
+		for j < len(o.ivs) && o.ivs[j].Hi < lo {
+			j++
+		}
+		k := j
+		for k < len(o.ivs) && o.ivs[k].Lo <= iv.Hi {
+			if o.ivs[k].Lo > lo {
+				out = append(out, Interval{lo, o.ivs[k].Lo - 1})
+			}
+			if o.ivs[k].Hi+1 > lo {
+				lo = o.ivs[k].Hi + 1
+			}
+			k++
+		}
+		if lo <= iv.Hi {
+			out = append(out, Interval{lo, iv.Hi})
+		}
+	}
+	if len(out) == 0 {
+		return IntervalSet{}, out
+	}
+	return IntervalSet{ivs: out}, out
+}
+
+// WrapIntervals adopts ivs (retained, not copied) as an IntervalSet.
+// The intervals must already be sorted, disjoint, non-adjacent, and
+// non-empty — the canonical form every IntervalSet operation produces.
+// It exists so allocation-conscious callers can re-wrap interval
+// storage they manage themselves; general assembly should use
+// NewIntervalSet.
+func WrapIntervals(ivs []Interval) IntervalSet {
+	if len(ivs) == 0 {
+		return IntervalSet{}
+	}
+	return IntervalSet{ivs: ivs}
+}
+
 // Overlaps reports whether s and o share at least one point. It is
 // equivalent to !s.Intersect(o).Empty() but does not allocate.
 func (s IntervalSet) Overlaps(o IntervalSet) bool {

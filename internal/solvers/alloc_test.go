@@ -1,0 +1,69 @@
+package solvers
+
+import (
+	"testing"
+
+	"kdrsolvers/internal/core"
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sparse"
+)
+
+// TestFusedCGStepAllocs pins the per-iteration allocation budget of the
+// fused CG step under trace replay. The bulk piece tasks launch detached
+// through the batch API and splice their dependences from the memoized
+// trace, so what remains is the iteration's host-side bookkeeping: the
+// handful of result scalars (each a fresh region, by design — scalars
+// are values the host reads) and the reduction futures. The pin is a
+// regression tripwire: if the hot path regrows per-task allocations the
+// count jumps by O(pieces × launches), two orders of magnitude above
+// this budget.
+func TestFusedCGStepAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the pin only means something without it")
+	}
+	const n, pieces = 4096, 8
+	a := sparse.Laplacian2D(64, 64)
+	b := make([]float64, n)
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	sparse.SpMV(a, b, ones)
+
+	p := core.NewPlanner(core.Config{Machine: machine.Lassen(1)})
+	si := p.AddSolVector(make([]float64, n), index.EqualPartition(index.NewSpace("D", n), pieces))
+	ri := p.AddRHSVector(b, index.EqualPartition(index.NewSpace("R", n), pieces))
+	p.AddOperator(a, si, ri)
+	p.Finalize()
+	p.SetTracing(true)
+
+	s := New("cg", p)
+	s.ConvergenceMeasure().Value()
+	// Record, calibrate, and settle every pool before measuring.
+	for i := 0; i < 8; i++ {
+		s.Step()
+	}
+	p.Drain()
+
+	rt := p.Runtime()
+	before := rt.Stats()
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Step()
+		p.Drain()
+	})
+	after := rt.Stats()
+
+	// The measurement only means something if the iterations replayed.
+	if after.TraceFallbacks != before.TraceFallbacks {
+		t.Fatalf("trace fell back to analysis during measurement (%d fallbacks)",
+			after.TraceFallbacks-before.TraceFallbacks)
+	}
+	launchesPerStep := float64(after.Launched-before.Launched) / 21
+	if allocs > 330 {
+		t.Errorf("fused CG step allocates %.0f objects/iteration (%.0f launches), want <= 330",
+			allocs, launchesPerStep)
+	}
+	t.Logf("fused CG: %.1f allocs/iteration over %.0f launches (%.2f allocs/launch)",
+		allocs, launchesPerStep, allocs/launchesPerStep)
+}

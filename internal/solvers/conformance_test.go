@@ -29,6 +29,9 @@ type confOperator struct {
 var confOperators = []confOperator{
 	{"csr", func(spd bool) sparse.Matrix { return confBase(spd) }},
 	{"ell", func(spd bool) sparse.Matrix { return sparse.Convert(confBase(spd), "ELL") }},
+	// The adaptive composite picks a (possibly different) format per row
+	// band; solvers must not be able to tell.
+	{"auto", func(spd bool) sparse.Matrix { return sparse.Convert(confBase(spd), "Auto") }},
 	// The stencil operator is matrix-free and inherently symmetric; the
 	// nonsymmetric methods must still converge on it.
 	{"stencil", func(bool) sparse.Matrix {

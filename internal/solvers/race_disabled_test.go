@@ -1,0 +1,5 @@
+//go:build !race
+
+package solvers
+
+const raceEnabled = false

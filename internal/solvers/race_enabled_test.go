@@ -1,0 +1,8 @@
+//go:build race
+
+package solvers
+
+// raceEnabled reports that this build runs under the race detector,
+// whose instrumentation allocates on its own and makes
+// testing.AllocsPerRun pins meaningless.
+const raceEnabled = true

@@ -43,8 +43,10 @@ func Transpose(a *CSR) *CSR {
 }
 
 // Convert re-encodes a CSR matrix into the named storage format. It is
-// the dispatch used by format-sweep benchmarks; block formats use 2 × 2
-// blocks and require even dimensions.
+// the dispatch used by format-sweep benchmarks. Block formats use 2 × 2
+// blocks, degrading per axis to width 1 when a dimension is odd, so any
+// shape converts without panicking. "Auto" profiles the matrix and
+// builds a row-banded composite of predicted-fastest formats.
 func Convert(a *CSR, format string) Matrix {
 	switch format {
 	case "CSR":
@@ -62,11 +64,43 @@ func Convert(a *CSR, format string) Matrix {
 	case "Dense":
 		return DenseFromMatrix(a)
 	case "BCSR":
-		return BCSRFromCSR(a, 2, 2)
+		br, bd := blockShape(a)
+		return BCSRFromCSR(a, br, bd)
 	case "BCSC":
-		return BCSCFromCSR(a, 2, 2)
+		br, bd := blockShape(a)
+		return BCSCFromCSR(a, br, bd)
+	case "Auto":
+		return AutoSelect(a, defaultAutoBands(a.rows))
 	}
 	panic("sparse: unknown format " + format)
+}
+
+// blockShape picks the block dimensions Convert uses for BCSR/BCSC: 2×2
+// when the dimensions allow, shrinking an axis to 1 when it is odd (an
+// n×1 or odd-dimension matrix previously panicked here).
+func blockShape(a *CSR) (br, bd int64) {
+	br, bd = 2, 2
+	if a.rows%2 != 0 {
+		br = 1
+	}
+	if a.cols%2 != 0 {
+		bd = 1
+	}
+	return br, bd
+}
+
+// defaultAutoBands is the band count Convert's "Auto" case uses when no
+// planner partition supplies one: up to 4 bands, never exceeding the row
+// count.
+func defaultAutoBands(rows int64) int {
+	n := int64(4)
+	if rows < n {
+		n = rows
+	}
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
 }
 
 // Formats lists every storage format Convert understands, in Figure 3

@@ -78,8 +78,8 @@ func TestFormatPairConformance(t *testing.T) {
 		}
 		wantY, wantZ := refProducts(dense, sh.rows, sh.cols, x, w)
 
-		for _, f1 := range Formats {
-			for _, f2 := range Formats {
+		for _, f1 := range allFormats() {
+			for _, f2 := range allFormats() {
 				t.Run(fmt.Sprintf("%dx%d/%s_to_%s", sh.rows, sh.cols, f1, f2), func(t *testing.T) {
 					m1 := Convert(a, f1)
 					// Recover CSR from the first format, then encode in the

@@ -46,6 +46,12 @@ type TaskSpec struct {
 	// attempt is safe. Only retryable tasks participate in the runtime's
 	// retry policy; a non-retryable failure is immediately permanent.
 	Retryable bool
+	// Detached skips creating a Future for the launch: the task's scalar
+	// result is discarded on completion and Launch returns nil (a fully
+	// detached LaunchBatch returns a nil slice). The bulk vector-update
+	// launches of a solver iteration never read their futures; detaching
+	// them removes the last allocation on the trace-replay launch path.
+	Detached bool
 }
 
 // RetryPolicy bounds re-execution of retryable task bodies.
@@ -133,6 +139,10 @@ type histEntry struct {
 	task   int64
 	subset index.IntervalSet
 	priv   region.Privilege
+	// buf is the entry's private interval storage, reused every time a
+	// writer shadow shrinks the subset so steady-state shrinking never
+	// allocates.
+	buf []index.Interval
 }
 
 // histShard holds one histKey's slice of the dependence history behind
@@ -148,7 +158,9 @@ type histShard struct {
 	mu      sync.Mutex
 	cond    sync.Cond
 	tickets []int64
+	head    int // index of the current head ticket within tickets
 	entries []histEntry
+	scratch []index.Interval // subtraction workspace, reused per shrink
 }
 
 // enqueue appends a ticket. Caller holds rt.mu (ordering) but not sh.mu.
@@ -162,16 +174,45 @@ func (sh *histShard) enqueue(id int64) {
 // with sh.mu held.
 func (sh *histShard) acquire(id int64) {
 	sh.mu.Lock()
-	for sh.tickets[0] != id {
+	for sh.tickets[sh.head] != id {
 		sh.cond.Wait()
 	}
 }
 
-// release pops the head ticket and releases sh.mu.
+// release pops the head ticket and releases sh.mu. The queue is a
+// head-indexed slice rather than tickets[1:] reslicing: once it drains
+// it resets to the front of the same backing array, so a steady launch
+// rate enqueues forever without reallocating.
 func (sh *histShard) release() {
-	sh.tickets = sh.tickets[1:]
+	sh.head++
+	if sh.head == len(sh.tickets) {
+		sh.tickets = sh.tickets[:0]
+		sh.head = 0
+	}
 	sh.cond.Broadcast()
 	sh.mu.Unlock()
+}
+
+// shrinkWriterShadow subtracts a new writer's subset from an older
+// entry, reporting whether the entry is now fully shadowed (and should
+// be dropped). The subtraction runs into the shard's scratch buffer and
+// the result is copied into the entry's own reused storage, so the
+// steady-state shrink — including the common full-shadow case, which
+// produces nothing and copies nothing — is allocation-free. Caller
+// holds sh.mu.
+func (sh *histShard) shrinkWriterShadow(e *histEntry, by index.IntervalSet) bool {
+	res, scratch := e.subset.SubtractInto(by, sh.scratch[:0])
+	sh.scratch = scratch
+	ivs := res.Intervals()
+	if len(ivs) == 0 {
+		return true
+	}
+	if cap(e.buf) < len(ivs) {
+		e.buf = make([]index.Interval, len(ivs), len(ivs)+4)
+	}
+	e.buf = append(e.buf[:0], ivs...)
+	e.subset = index.WrapIntervals(e.buf)
+	return false
 }
 
 // analyze records dependences of one reference of task id against the
@@ -208,8 +249,7 @@ func (sh *histShard) analyze(id int64, ref region.Ref, depBytes map[int64]int64)
 		// long-lived readers span, and routes each future read to the
 		// writer that actually produced each part.
 		if ref.Priv.Writes() && e.subset.Overlaps(ref.Subset) {
-			e.subset = e.subset.Subtract(ref.Subset)
-			if e.subset.Empty() {
+			if sh.shrinkWriterShadow(&e, ref.Subset) {
 				continue // fully shadowed
 			}
 		}
@@ -231,8 +271,7 @@ func (sh *histShard) record(id int64, ref region.Ref) {
 		kept := entries[:0]
 		for _, e := range entries {
 			if e.task != id && e.subset.Overlaps(ref.Subset) {
-				e.subset = e.subset.Subtract(ref.Subset)
-				if e.subset.Empty() {
+				if sh.shrinkWriterShadow(&e, ref.Subset) {
 					continue
 				}
 			}
@@ -246,13 +285,20 @@ func (sh *histShard) record(id int64, ref region.Ref) {
 // taskState tracks an incomplete task's scheduling state. Name, phase,
 // proc, and the recorder are copied out of the spec at launch so that
 // execution and failure reporting never need the runtime lock.
+//
+// taskStates are pooled: complete() recycles the state (and its owned
+// scratch slices — deps, bytes, groups, ready — whose capacity survives
+// the round trip) unless noRecycle pins it for an async reader. A state
+// is safe to recycle at the end of its own complete(): every successor
+// was handed off under rt.mu, the ID was unregistered, and execute()
+// touches nothing after complete() returns.
 type taskState struct {
 	id        int64
 	name      string
 	phase     string
 	proc      int
 	run       func() float64
-	future    *Future
+	future    *Future // nil for detached launches
 	pending   int
 	succs     []*taskState
 	wired     bool // dependence wiring finished; eligible to run at pending==0
@@ -261,13 +307,44 @@ type taskState struct {
 	retryable bool
 	inj       fault.Injection
 	poison    error // set under rt.mu before the task becomes ready
+	noRecycle bool  // an async reader (watchdog) may outlive complete()
+
+	// exec is the state's pre-bound executor thunk, created once when the
+	// state is first pooled. Spawning `go ts.exec()` passes a zero-argument
+	// func value, which the compiler hands to the scheduler as-is; the
+	// equivalent `go rt.execute(ts)` would heap-allocate a closure per
+	// spawn to carry its arguments.
+	exec func()
+
+	// Per-launch scratch, owned by the state and reused across pool
+	// round trips.
+	groups  []keyGroup   // history keys of this launch's refs
+	deps    []int64      // discovered or spliced dependence edges
+	bytes   []int64      // bytes flowing along deps (parallel slice)
+	ready   []*taskState // successors released by this task's completion
+	splice  bool         // deps came from a trace template
+	scans   int          // history entries examined by analysis
+	atEpoch int64        // trace-scope epoch at launch (at != nil)
+	trPos   int          // position within the trace instance
+	at      *activeTrace // the trace scope observed at launch, if any
 }
 
-// keyGroup is the references of one launch grouped by history key, in
-// first-appearance order.
+// keyGroup is one distinct history key of a launch. The refs mapping to
+// the key are not stored — the analysis phase re-walks the spec's refs
+// per group, which for the tiny ref lists of real launches is cheaper
+// than materializing per-group ref slices and keeps the launch path
+// allocation-free.
 type keyGroup struct {
 	shard *histShard
-	refs  []region.Ref
+	key   histKey
+}
+
+// launchScratch is the per-launch transient workspace, pooled on the
+// runtime so neither Launch nor LaunchBatch allocates it.
+type launchScratch struct {
+	depBytes map[int64]int64
+	states   []*taskState
+	ready    []*taskState
 }
 
 // Runtime launches tasks, derives their dependence graph from region
@@ -275,10 +352,10 @@ type keyGroup struct {
 // the annotated graph for the simulator. The zero value is not usable;
 // call New.
 //
-// Launch, Drain, and Graph are safe for concurrent use. Trace scopes
-// (BeginTrace/EndTrace) assume a single launching goroutine between
-// them — the usual solver client; concurrent launchers may be used
-// outside trace scopes.
+// Launch, LaunchBatch, Drain, and Graph are safe for concurrent use.
+// Trace scopes (BeginTrace/EndTrace) assume a single launching goroutine
+// between them — the usual solver client; concurrent launchers may be
+// used outside trace scopes.
 type Runtime struct {
 	mu        sync.Mutex
 	hist      map[histKey]*histShard
@@ -292,17 +369,33 @@ type Runtime struct {
 	workers   chan int // pool of worker IDs; len = concurrency limit
 	traces    map[string]*traceTmpl
 	trace     *activeTrace
-	errs      []error // permanent task failures, in completion order
+	atScratch *activeTrace // recycled activeTrace (one scope at a time)
+	atEpoch   int64        // bumped per BeginTrace; disambiguates reuse
+	errs      []error      // permanent task failures, in completion order
 	rec       *obs.Recorder
 	phase     string
 	retry     RetryPolicy
 	injector  *fault.Injector
 	watchdog  time.Duration
 
+	// retain controls graph retention (on by default): when off, launches
+	// skip Node construction entirely — the zero-allocation configuration
+	// for replay-dominated hot loops that never call Graph.
+	retain bool
+	// depArena chunk-allocates Node dep-edge storage so graph retention
+	// costs one allocation per ~arenaChunk edges instead of two per task.
+	depArena []int64
+
+	tsPool sync.Pool // *taskState
+	scPool sync.Pool // *launchScratch
+
 	// Launch-path timers: wall time spent in Launch for analyzed versus
 	// trace-spliced launches, surfaced through LaunchTiming.
 	tAnalyzed, tSpliced obs.Timer
 }
+
+// arenaChunk is the dep-arena chunk size in int64 entries.
+const arenaChunk = 4096
 
 // New returns an empty runtime executing up to GOMAXPROCS tasks
 // concurrently.
@@ -312,13 +405,23 @@ func New() *Runtime {
 	for w := 0; w < nw; w++ {
 		workers <- w
 	}
-	return &Runtime{
+	rt := &Runtime{
 		hist:    make(map[histKey]*histShard),
 		tasks:   make(map[int64]*taskState),
 		held:    make(map[int64]Node),
 		workers: workers,
 		traces:  make(map[string]*traceTmpl),
+		retain:  true,
 	}
+	rt.tsPool.New = func() any {
+		ts := &taskState{}
+		ts.exec = func() { rt.execute(ts) }
+		return ts
+	}
+	rt.scPool.New = func() any {
+		return &launchScratch{depBytes: make(map[int64]int64)}
+	}
+	return rt
 }
 
 // SetRecorder attaches an observability recorder: every task executed
@@ -379,6 +482,22 @@ func (rt *Runtime) SetPhase(label string) {
 	rt.mu.Unlock()
 }
 
+// SetGraphRetention enables or disables recording of launched tasks into
+// the Graph (on by default). Retention off removes the last per-launch
+// allocations of the replay path — Node construction and its dep-slice
+// copies — for hot loops that never inspect the graph. Call it while the
+// runtime is quiescent (no launches in flight): re-enabling resumes
+// recording from the next task ID, and Graph() then reflects only the
+// retained eras.
+func (rt *Runtime) SetGraphRetention(on bool) {
+	rt.mu.Lock()
+	if on && !rt.retain {
+		rt.nextFlush = rt.nextID // skip the unrecorded era
+	}
+	rt.retain = on
+	rt.mu.Unlock()
+}
+
 // LaunchTiming returns accumulated wall time spent inside Launch, split
 // into fully analyzed launches and launches spliced from a memoized
 // trace — the direct measurement of what memoization saves.
@@ -398,132 +517,196 @@ func (rt *Runtime) shardFor(key histKey) *histShard {
 	return sh
 }
 
-// groupRefs groups a spec's references by history key in
-// first-appearance order and enqueues one ticket per key. Caller holds
-// rt.mu.
-func (rt *Runtime) groupRefs(id int64, refs []region.Ref) []keyGroup {
-	if len(refs) == 0 {
-		return nil
-	}
-	groups := make([]keyGroup, 0, len(refs))
-	idx := make(map[histKey]int, len(refs))
+// groupKeys collects a spec's distinct history keys in first-appearance
+// order into the task's reused group buffer and enqueues one ticket per
+// key. Distinctness is a linear scan over the groups found so far —
+// launches reference a handful of keys, where the scan beats a map and
+// allocates nothing. Caller holds rt.mu.
+func (rt *Runtime) groupKeys(id int64, refs []region.Ref, groups []keyGroup) []keyGroup {
+	groups = groups[:0]
 	for _, ref := range refs {
 		key := histKey{ref.Region, ref.Field}
-		if i, ok := idx[key]; ok {
-			groups[i].refs = append(groups[i].refs, ref)
-			continue
+		seen := false
+		for i := range groups {
+			if groups[i].key == key {
+				seen = true
+				break
+			}
 		}
-		idx[key] = len(groups)
-		groups = append(groups, keyGroup{shard: rt.shardFor(key), refs: []region.Ref{ref}})
+		if !seen {
+			groups = append(groups, keyGroup{shard: rt.shardFor(key), key: key})
+		}
 	}
-	for _, g := range groups {
-		g.shard.enqueue(id)
+	for i := range groups {
+		groups[i].shard.enqueue(id)
 	}
 	return groups
 }
 
-// Launch submits a task. Dependence analysis against previously launched
-// tasks happens immediately — in parallel across history keys for
-// concurrent launchers, or spliced from a memoized trace template when
-// the launch replays a recorded trace — and execution happens
-// asynchronously once all dependences complete. The returned future
-// delivers Run's result.
-func (rt *Runtime) Launch(spec TaskSpec) *Future {
-	start := time.Now()
-	fut := newFuture()
+// newTaskState takes a pooled state and copies the spec fields execution
+// needs. Needs no lock.
+func (rt *Runtime) newTaskState(spec *TaskSpec) *taskState {
+	ts := rt.tsPool.Get().(*taskState)
+	ts.name = spec.Name
+	ts.proc = spec.Proc
+	ts.run = spec.Run
+	ts.retryable = spec.Retryable
+	if !spec.Detached {
+		ts.future = newFuture()
+	}
+	return ts
+}
 
-	// Phase 1 (runtime lock): assign the ID, consult the tracer, enqueue
-	// per-key tickets, and register the task so later launches can wire
-	// onto it.
-	rt.mu.Lock()
+// recycle scrubs a completed task state and returns it to the pool.
+func (rt *Runtime) recycle(ts *taskState) {
+	ts.run = nil
+	ts.future = nil
+	ts.rec = nil
+	ts.poison = nil
+	ts.at = nil
+	ts.inj = fault.Injection{}
+	ts.pending = 0
+	ts.wired = false
+	ts.splice = false
+	ts.scans = 0
+	for i := range ts.succs {
+		ts.succs[i] = nil
+	}
+	ts.succs = ts.succs[:0]
+	for i := range ts.ready {
+		ts.ready[i] = nil
+	}
+	ts.ready = ts.ready[:0]
+	ts.deps = ts.deps[:0]
+	ts.bytes = ts.bytes[:0]
+	ts.groups = ts.groups[:0]
+	rt.tsPool.Put(ts)
+}
+
+// prepLocked is launch phase 1: assign the ID, consult the tracer,
+// enqueue per-key tickets, and register the task so later launches can
+// wire onto it. Caller holds rt.mu.
+func (rt *Runtime) prepLocked(spec *TaskSpec, ts *taskState) {
 	id := rt.nextID
 	rt.nextID++
-	var act traceAction
-	var at *activeTrace
-	var tracePos int
+	ts.id = id
+	ts.phase = spec.Phase
+	if ts.phase == "" {
+		ts.phase = rt.phase
+	}
+	ts.splice = false
+	ts.scans = 0
+	ts.at = nil
 	if rt.trace != nil {
-		at = rt.trace
-		tracePos = at.n
-		act = rt.traceObserve(spec)
+		ts.at = rt.trace
+		ts.atEpoch = rt.atEpoch
+		ts.trPos = rt.trace.n
+		rt.traceObserve(*spec, ts)
 	}
-	groups := rt.groupRefs(id, spec.Refs)
-	phase := spec.Phase
-	if phase == "" {
-		phase = rt.phase
-	}
-	ts := &taskState{
-		id: id, name: spec.Name, phase: phase, proc: spec.Proc,
-		run: spec.Run, future: fut, rec: rt.rec, retryable: spec.Retryable,
-	}
+	ts.groups = rt.groupKeys(id, spec.Refs, ts.groups)
 	if rt.injector != nil {
-		ts.inj = rt.injector.Decide(spec.Name, phase)
+		ts.inj = rt.injector.Decide(spec.Name, ts.phase)
 	}
+	ts.rec = rt.rec
 	if ts.rec != nil {
 		ts.launch = ts.rec.Now()
 	}
 	rt.tasks[id] = ts
 	rt.wg.Add(1)
-	rt.mu.Unlock()
+}
 
-	// Phase 2 (per-key shard locks, in ticket order): the interval-set
-	// work — interference analysis for analyzed launches, the history
-	// shadow update for spliced ones.
-	var deps, bytes []int64
+// resolveDeps is launch phase 2 (per-key shard locks, in ticket order):
+// the interval-set work — interference analysis for analyzed launches,
+// the history shadow update for spliced ones. Runs without rt.mu.
+func (rt *Runtime) resolveDeps(spec *TaskSpec, ts *taskState, sc *launchScratch) {
+	if ts.splice {
+		for _, g := range ts.groups {
+			g.shard.acquire(ts.id)
+			for i := range spec.Refs {
+				ref := &spec.Refs[i]
+				if (histKey{ref.Region, ref.Field}) == g.key {
+					g.shard.record(ts.id, *ref)
+				}
+			}
+			g.shard.release()
+		}
+		return
+	}
+	depBytes := sc.depBytes
+	clear(depBytes)
 	scans := 0
-	if act.splice {
-		deps, bytes = act.deps, act.bytes
-		for _, g := range groups {
-			g.shard.acquire(id)
-			for _, ref := range g.refs {
-				g.shard.record(id, ref)
+	for _, g := range ts.groups {
+		g.shard.acquire(ts.id)
+		for i := range spec.Refs {
+			ref := &spec.Refs[i]
+			if (histKey{ref.Region, ref.Field}) == g.key {
+				scans += g.shard.analyze(ts.id, *ref, depBytes)
 			}
-			g.shard.release()
 		}
-	} else {
-		depBytes := make(map[int64]int64)
-		for _, g := range groups {
-			g.shard.acquire(id)
-			for _, ref := range g.refs {
-				scans += g.shard.analyze(id, ref, depBytes)
-			}
-			g.shard.release()
-		}
-		deps = make([]int64, 0, len(depBytes))
-		for d := range depBytes {
-			deps = append(deps, d)
-		}
-		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
-		bytes = make([]int64, len(deps))
-		for i, d := range deps {
-			bytes[i] = depBytes[d]
-		}
+		g.shard.release()
 	}
+	ts.scans = scans
+	ts.deps = ts.deps[:0]
+	for d := range depBytes {
+		ts.deps = append(ts.deps, d)
+	}
+	deps := ts.deps
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	ts.bytes = ts.bytes[:0]
+	for _, d := range ts.deps {
+		ts.bytes = append(ts.bytes, depBytes[d])
+	}
+}
 
-	// Phase 3 (runtime lock): record the node, update stats, capture
-	// template edges when calibrating, and wire the dependences.
-	rt.mu.Lock()
-	rt.stats.Launched++
-	rt.stats.DepEdges += int64(len(deps))
-	rt.stats.AnalysisScans += int64(scans)
-	if act.splice {
-		rt.stats.TraceReplays++
-	} else if at != nil && rt.trace == at {
-		rt.traceRecordAnalyzed(tracePos, deps, bytes)
+// arenaCopy copies a dep slice into the chunked graph arena, amortizing
+// Node storage to one allocation per arenaChunk edges. Caller holds
+// rt.mu.
+func (rt *Runtime) arenaCopy(xs []int64) []int64 {
+	if len(xs) == 0 {
+		return nil
 	}
-	rt.held[id] = Node{
-		ID: id, Name: spec.Name, Phase: phase, Proc: spec.Proc, Cost: spec.Cost,
-		Deps: deps, DepBytes: bytes, Traced: act.splice, Host: spec.Host,
-	}
-	for {
-		n, ok := rt.held[rt.nextFlush]
-		if !ok {
-			break
+	if len(rt.depArena)+len(xs) > cap(rt.depArena) {
+		sz := arenaChunk
+		if len(xs) > sz {
+			sz = len(xs)
 		}
-		delete(rt.held, rt.nextFlush)
-		rt.graph.Nodes = append(rt.graph.Nodes, n)
-		rt.nextFlush++
+		rt.depArena = make([]int64, 0, sz)
 	}
-	for _, d := range deps {
+	n := len(rt.depArena)
+	rt.depArena = append(rt.depArena, xs...)
+	return rt.depArena[n : n+len(xs) : n+len(xs)]
+}
+
+// finishLocked is launch phase 3: record the node, update stats, capture
+// template edges when calibrating, and wire the dependences. Returns
+// whether the task is immediately ready to execute. Caller holds rt.mu.
+func (rt *Runtime) finishLocked(spec *TaskSpec, ts *taskState) bool {
+	rt.stats.Launched++
+	rt.stats.DepEdges += int64(len(ts.deps))
+	rt.stats.AnalysisScans += int64(ts.scans)
+	if ts.splice {
+		rt.stats.TraceReplays++
+	} else if ts.at != nil && rt.trace == ts.at && rt.atEpoch == ts.atEpoch {
+		rt.traceRecordAnalyzed(ts.trPos, ts.deps, ts.bytes)
+	}
+	ts.at = nil
+	if rt.retain {
+		rt.held[ts.id] = Node{
+			ID: ts.id, Name: spec.Name, Phase: ts.phase, Proc: spec.Proc, Cost: spec.Cost,
+			Deps: rt.arenaCopy(ts.deps), DepBytes: rt.arenaCopy(ts.bytes),
+			Traced: ts.splice, Host: spec.Host,
+		}
+		for {
+			n, ok := rt.held[rt.nextFlush]
+			if !ok {
+				break
+			}
+			delete(rt.held, rt.nextFlush)
+			rt.graph.Nodes = append(rt.graph.Nodes, n)
+			rt.nextFlush++
+		}
+	}
+	for _, d := range ts.deps {
 		if pred, live := rt.tasks[d]; live {
 			pred.succs = append(pred.succs, ts)
 			ts.pending++
@@ -536,18 +719,124 @@ func (rt *Runtime) Launch(spec TaskSpec) *Future {
 		// tasks launched afterward start from a clean slate.
 	}
 	ts.wired = true
-	ready := ts.pending == 0
+	return ts.pending == 0
+}
+
+// Launch submits a task. Dependence analysis against previously launched
+// tasks happens immediately — in parallel across history keys for
+// concurrent launchers, or spliced from a memoized trace template when
+// the launch replays a recorded trace — and execution happens
+// asynchronously once all dependences complete. The returned future
+// delivers Run's result (nil for a Detached spec).
+func (rt *Runtime) Launch(spec TaskSpec) *Future {
+	start := time.Now()
+	sc := rt.scPool.Get().(*launchScratch)
+	ts := rt.newTaskState(&spec)
+	fut := ts.future
+
+	rt.mu.Lock()
+	rt.prepLocked(&spec, ts)
 	rt.mu.Unlock()
 
-	if act.splice {
+	rt.resolveDeps(&spec, ts, sc)
+
+	rt.mu.Lock()
+	ready := rt.finishLocked(&spec, ts)
+	// Once wired, a predecessor's completion may ready, run, and recycle
+	// ts at any moment — read everything needed from it before unlocking.
+	spliced := ts.splice
+	rt.mu.Unlock()
+	rt.scPool.Put(sc)
+
+	if ready {
+		go ts.exec()
+	}
+	if spliced {
 		rt.tSpliced.Observe(time.Since(start))
 	} else {
 		rt.tAnalyzed.Observe(time.Since(start))
 	}
-	if ready {
-		go rt.execute(ts)
-	}
 	return fut
+}
+
+// LaunchBatch submits a slice of tasks as one fused sweep: the runtime
+// lock is taken once for the whole batch's registration and once for its
+// wiring, instead of twice per task, and the per-key ticket protocol
+// still sees strictly ascending IDs because the batch registers in slice
+// order under a single lock acquisition. Dependences among batch members
+// work exactly as under individual launches. Returns the futures in spec
+// order, or a nil slice when every spec is Detached — the zero-allocation
+// fast path for solver sweeps that never read their futures.
+func (rt *Runtime) LaunchBatch(specs []TaskSpec) []*Future {
+	if len(specs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	sc := rt.scPool.Get().(*launchScratch)
+	states := sc.states[:0]
+
+	var futs []*Future
+	for i := range specs {
+		if !specs[i].Detached {
+			futs = make([]*Future, len(specs))
+			break
+		}
+	}
+
+	// Phase 1: one runtime-lock acquisition registers the whole batch.
+	rt.mu.Lock()
+	for i := range specs {
+		ts := rt.newTaskState(&specs[i])
+		rt.prepLocked(&specs[i], ts)
+		states = append(states, ts)
+		if futs != nil {
+			futs[i] = ts.future
+		}
+	}
+	rt.mu.Unlock()
+
+	// Phase 2: per-spec interval work in launch (= ID) order. A single
+	// goroutine acquiring its own tickets in ascending order never waits
+	// on itself, so sequential resolution cannot deadlock.
+	nSpliced := int64(0)
+	for i, ts := range states {
+		rt.resolveDeps(&specs[i], ts, sc)
+		if ts.splice {
+			nSpliced++
+		}
+	}
+
+	// Phase 3: one lock acquisition wires and records the whole batch.
+	ready := sc.ready[:0]
+	rt.mu.Lock()
+	for i, ts := range states {
+		if rt.finishLocked(&specs[i], ts) {
+			ready = append(ready, ts)
+		}
+	}
+	rt.mu.Unlock()
+
+	// Attribute the batch's wall time to the two launch-path timers in
+	// proportion to the split, before any spawned task can recycle.
+	dur := time.Since(start)
+	n := int64(len(specs))
+	if nSpliced > 0 {
+		rt.tSpliced.ObserveN(dur*time.Duration(nSpliced)/time.Duration(n), nSpliced)
+	}
+	if nA := n - nSpliced; nA > 0 {
+		rt.tAnalyzed.ObserveN(dur*time.Duration(nA)/time.Duration(n), nA)
+	}
+	for i, ts := range ready {
+		go ts.exec()
+		ready[i] = nil
+	}
+	sc.ready = ready[:0]
+	for i := range states {
+		states[i] = nil
+	}
+	sc.states = states[:0]
+	rt.scPool.Put(sc)
+	return futs
 }
 
 // execute runs one ready task — or skips it when poisoned — and then
@@ -580,6 +869,13 @@ func (rt *Runtime) execute(ts *taskState) {
 		}
 		rt.complete(ts, math.NaN(), poison)
 		return
+	}
+
+	if budget > 0 {
+		// The watchdog's AfterFunc goroutine reads ts asynchronously —
+		// possibly after completion — so a watched state must never be
+		// recycled.
+		ts.noRecycle = true
 	}
 
 	w := <-rt.workers
@@ -651,13 +947,16 @@ func (rt *Runtime) execute(ts *taskState) {
 }
 
 // complete resolves the task's future, poisons and releases its
-// successors, and retires the task. A non-nil err marks the task as a
-// permanent failure (or an already-poisoned cancellation): every direct
-// successor is poisoned, poison flows transitively because poisoned
-// successors complete with their own non-nil error, and the failure is
-// remembered so tasks wired after this completion are poisoned too.
+// successors, retires the task, and recycles its state. A non-nil err
+// marks the task as a permanent failure (or an already-poisoned
+// cancellation): every direct successor is poisoned, poison flows
+// transitively because poisoned successors complete with their own
+// non-nil error, and the failure is remembered so tasks wired after this
+// completion are poisoned too.
 func (rt *Runtime) complete(ts *taskState, val float64, err error) {
-	ts.future.resolve(val, err)
+	if ts.future != nil {
+		ts.future.resolve(val, err)
+	}
 
 	rt.mu.Lock()
 	delete(rt.tasks, ts.id)
@@ -670,7 +969,7 @@ func (rt *Runtime) complete(ts *taskState, val float64, err error) {
 				ErrPoisoned, ts.id, ts.name, err)
 		}
 	}
-	var ready []*taskState
+	ready := ts.ready[:0]
 	for _, s := range ts.succs {
 		if poisonErr != nil && s.poison == nil {
 			s.poison = poisonErr
@@ -680,12 +979,19 @@ func (rt *Runtime) complete(ts *taskState, val float64, err error) {
 			ready = append(ready, s)
 		}
 	}
+	ts.ready = ready
 	rt.mu.Unlock()
 
-	for _, s := range ready {
-		go rt.execute(s)
+	for i, s := range ts.ready {
+		go s.exec()
+		ts.ready[i] = nil
 	}
+	ts.ready = ts.ready[:0]
+	noRecycle := ts.noRecycle
 	rt.wg.Done()
+	if !noRecycle {
+		rt.recycle(ts)
+	}
 }
 
 // flagStraggler records that a task blew its wall-clock budget. It runs
@@ -754,7 +1060,8 @@ func (rt *Runtime) Err() error {
 // storage (callers must not modify it) and is unaffected by later
 // launches. With concurrent launchers the snapshot is always a
 // consistent prefix: a node appears only once its dependence analysis —
-// and that of every smaller-ID task — has finished.
+// and that of every smaller-ID task — has finished. Launches made while
+// graph retention is off (SetGraphRetention) do not appear.
 func (rt *Runtime) Graph() Graph {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -789,12 +1096,26 @@ func (rt *Runtime) BeginTrace(key string) {
 		tmpl = &traceTmpl{}
 		rt.traces[key] = tmpl
 	}
-	at := &activeTrace{
-		key: key, tmpl: tmpl,
-		base:      rt.nextID,
-		watermark: region.LastID(),
-		freshIdx:  make(map[region.ID]int),
+	at := rt.atScratch
+	if at == nil {
+		at = &activeTrace{}
+		rt.atScratch = at
 	}
+	rt.atEpoch++
+	at.key = key
+	at.tmpl = tmpl
+	at.base = rt.nextID
+	at.n = 0
+	at.watermark = region.LastID()
+	at.fresh = tmpl.freshBufs[tmpl.flip][:0]
+	if at.freshIdx != nil {
+		clear(at.freshIdx)
+	}
+	if at.prevIdx != nil {
+		clear(at.prevIdx)
+	}
+	at.cand = nil // escapes into the template at EndTrace; never reused
+	at.failed = false
 	adjacent := tmpl.lastOK && tmpl.lastBase+int64(tmpl.lastLen) == rt.nextID
 	switch {
 	case !adjacent:
@@ -809,8 +1130,10 @@ func (rt *Runtime) BeginTrace(key string) {
 	default:
 		at.mode = trReplay
 	}
-	if at.mode != trRecord {
-		at.prevIdx = make(map[region.ID]int, len(tmpl.lastFresh))
+	if at.mode != trRecord && len(tmpl.lastFresh) > 0 {
+		if at.prevIdx == nil {
+			at.prevIdx = make(map[region.ID]int, len(tmpl.lastFresh))
+		}
 		for j, id := range tmpl.lastFresh {
 			at.prevIdx[id] = j
 		}
@@ -849,6 +1172,8 @@ func (rt *Runtime) EndTrace() {
 		tmpl.lastBase = at.base
 		tmpl.lastLen = at.n
 		tmpl.lastFresh = at.fresh
+		tmpl.freshBufs[tmpl.flip] = at.fresh
+		tmpl.flip ^= 1
 		rt.stats.TraceHits++
 		return
 	}
@@ -864,6 +1189,8 @@ func (rt *Runtime) EndTrace() {
 	tmpl.lastBase = at.base
 	tmpl.lastLen = at.n
 	tmpl.lastFresh = at.fresh
+	tmpl.freshBufs[tmpl.flip] = at.fresh
+	tmpl.flip ^= 1
 }
 
 // String summarizes the runtime state.
@@ -876,13 +1203,14 @@ func (rt *Runtime) String() string {
 // IndexLaunch launches one point task per color of a color space
 // [0, n), the runtime analogue of Legion's index task launches (Soi et
 // al., SC'21): a single logical operation over a partition becomes n
-// point tasks whose dependences the runtime derives individually. point
-// builds the spec for one color. The returned futures are in color
-// order.
+// point tasks whose dependences the runtime derives individually, as one
+// batch under the fused LaunchBatch locking. point builds the spec for
+// one color. The returned futures are in color order (nil when every
+// point is Detached).
 func (rt *Runtime) IndexLaunch(n int, point func(color int) TaskSpec) []*Future {
-	futs := make([]*Future, n)
+	specs := make([]TaskSpec, n)
 	for c := 0; c < n; c++ {
-		futs[c] = rt.Launch(point(c))
+		specs[c] = point(c)
 	}
-	return futs
+	return rt.LaunchBatch(specs)
 }

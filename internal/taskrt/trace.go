@@ -119,6 +119,14 @@ type traceTmpl struct {
 	lastBase  int64
 	lastLen   int
 	lastFresh []region.ID // its fresh regions, first-appearance order
+
+	// freshBufs double-buffers the fresh-region storage so steady-state
+	// replay allocates nothing: lastFresh aliases the buffer the previous
+	// instance filled, and the next instance appends into the other one.
+	// An instance's lastFresh is consumed (copied into prevIdx) at the
+	// following BeginTrace, so two buffers always suffice.
+	freshBufs [2][]region.ID
+	flip      int
 }
 
 // Trace modes of an active instance.
@@ -129,7 +137,10 @@ const (
 )
 
 // activeTrace is the state of the instance currently between BeginTrace
-// and EndTrace, guarded by rt.mu.
+// and EndTrace, guarded by rt.mu. The runtime keeps a single recycled
+// activeTrace (at most one instance is open at a time) so a trace scope
+// itself costs no allocation on the replay path; its maps are cleared,
+// not rebuilt, between instances.
 type activeTrace struct {
 	key  string
 	tmpl *traceTmpl
@@ -153,6 +164,9 @@ func (at *activeTrace) classify(id region.ID) (class, idx int) {
 	if id > at.watermark {
 		j, ok := at.freshIdx[id]
 		if !ok {
+			if at.freshIdx == nil {
+				at.freshIdx = make(map[region.ID]int, 8)
+			}
 			j = len(at.fresh)
 			at.fresh = append(at.fresh, id)
 			at.freshIdx[id] = j
@@ -250,43 +264,70 @@ func captureDeps(deps []int64, bytes []int64, base, prevBase int64) []depTmpl {
 	return out
 }
 
-// spliceDeps materializes a template's edges at a concrete instance
-// base. The previous instance occupies [base-instLen, base). Template
+// replayCompatible validates one launch directly against a template task
+// without materializing a candidate fingerprint — the replay-path
+// equivalent of fingerprint+taskCompatible, minus their allocations.
+// Replay validation is strict (no stable→prev upgrade), so a field-level
+// comparison against the raw spec suffices. Classification side effects
+// (first-appearance registration of fresh regions) are identical to the
+// fingerprint path for every ref up to the first mismatch; after a
+// mismatch the instance is demoted to analysis, so partial registration
+// cannot corrupt a later replay.
+func (at *activeTrace) replayCompatible(t *taskTmpl, spec TaskSpec) bool {
+	if t.name != spec.Name || t.host != spec.Host || len(t.refs) != len(spec.Refs) {
+		return false
+	}
+	for i := range t.refs {
+		tref := &t.refs[i]
+		ref := &spec.Refs[i]
+		if tref.field != ref.Field || tref.priv != ref.Priv {
+			return false
+		}
+		class, idx := at.classify(ref.Region)
+		if class != tref.class {
+			return false
+		}
+		if class == rcStable {
+			if tref.region != ref.Region {
+				return false
+			}
+		} else if idx != tref.idx {
+			return false
+		}
+		if !tref.subset.Equal(ref.Subset) {
+			return false
+		}
+	}
+	return true
+}
+
+// spliceDepsInto materializes a template's edges at a concrete instance
+// base, appending into caller-owned buffers (passed in truncated, handed
+// back possibly regrown — the zero-allocation contract of the replay
+// path). The previous instance occupies [base-instLen, base). Template
 // edges were captured in ascending absolute order, and the mapping
 // preserves it (ancient < prev < internal at both capture and splice),
 // so the result is already sorted.
-func spliceDeps(tmpl []depTmpl, base int64, instLen int) (deps []int64, bytes []int64) {
-	if len(tmpl) == 0 {
-		return nil, nil
-	}
-	deps = make([]int64, len(tmpl))
-	bytes = make([]int64, len(tmpl))
-	for i, d := range tmpl {
+func spliceDepsInto(tmpl []depTmpl, base int64, instLen int, deps, bytes []int64) ([]int64, []int64) {
+	for _, d := range tmpl {
 		switch d.kind {
 		case depInternal:
-			deps[i] = base + int64(d.off)
+			deps = append(deps, base+int64(d.off))
 		case depPrev:
-			deps[i] = base - int64(instLen) + int64(d.off)
+			deps = append(deps, base-int64(instLen)+int64(d.off))
 		default:
-			deps[i] = d.abs
+			deps = append(deps, d.abs)
 		}
-		bytes[i] = d.bytes
+		bytes = append(bytes, d.bytes)
 	}
 	return deps, bytes
 }
 
-// traceAction is the per-launch decision the tracer hands back to
-// Launch, computed under rt.mu.
-type traceAction struct {
-	splice bool    // true: use deps/bytes below, skip analysis
-	deps   []int64 // spliced edges (sorted ascending)
-	bytes  []int64
-	tmpl   *taskTmpl // calibrate/replay: template slot for this launch
-}
-
 // traceObserve classifies one launch under the active trace and decides
-// whether it can be spliced. Caller holds rt.mu.
-func (rt *Runtime) traceObserve(spec TaskSpec) traceAction {
+// whether it can be spliced. On a successful replay match it sets
+// ts.splice and fills the task's own dep/byte buffers; otherwise the
+// launch proceeds to full analysis. Caller holds rt.mu.
+func (rt *Runtime) traceObserve(spec TaskSpec, ts *taskState) {
 	at := rt.trace
 	pos := at.n
 	at.n++
@@ -294,10 +335,11 @@ func (rt *Runtime) traceObserve(spec TaskSpec) traceAction {
 	if at.mode == trReplay && !at.failed {
 		if pos < len(at.tmpl.tasks) {
 			t := &at.tmpl.tasks[pos]
-			c := at.fingerprint(spec)
-			if at.taskCompatible(*t, c) {
-				deps, bytes := spliceDeps(t.deps, at.base, len(at.tmpl.tasks))
-				return traceAction{splice: true, deps: deps, bytes: bytes, tmpl: t}
+			if at.replayCompatible(t, spec) {
+				ts.deps, ts.bytes = spliceDepsInto(
+					t.deps, at.base, len(at.tmpl.tasks), ts.deps[:0], ts.bytes[:0])
+				ts.splice = true
+				return
 			}
 		}
 		// Mismatch (or an instance longer than the template): fall back
@@ -306,7 +348,7 @@ func (rt *Runtime) traceObserve(spec TaskSpec) traceAction {
 		at.failed = true
 		rt.stats.TraceFallbacks++
 		delete(rt.traces, at.key)
-		return traceAction{}
+		return
 	}
 
 	// Record / calibrate: full analysis runs; build the candidate
@@ -319,7 +361,6 @@ func (rt *Runtime) traceObserve(spec TaskSpec) traceAction {
 			at.failed = true
 		}
 	}
-	return traceAction{}
 }
 
 // traceRecordAnalyzed stores an analyzed launch's edges into the
