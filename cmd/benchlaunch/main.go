@@ -4,7 +4,7 @@
 // numbers land in a machine-readable artifact instead of scrolling away
 // in a CI log:
 //
-//	go run ./cmd/benchlaunch -strict -o BENCH_pr6.json
+//	go run ./cmd/benchlaunch -strict -o BENCH_pr7.json
 //
 // The report carries performance gates (spliced launch under 1 µs with
 // zero allocations, replay faster than analysis, fused CG launching
@@ -79,6 +79,20 @@ type fusionResult struct {
 	UsPerStep float64 `json:"us_per_step"`
 }
 
+// reductionResult counts global reduction tasks — the "dot.reduce" and
+// "dot.batchreduce" combining tasks that stand in for MPI_Allreduce on a
+// distributed machine — per solver iteration in steady state. This is
+// the communication-avoidance ledger: classical CG pays two reductions
+// per iteration, pipelined CG batches them into one, and s-step CG
+// amortizes one block Gram reduction over s iterations.
+type reductionResult struct {
+	// ReductionsPerIter is reduction tasks divided by iterations (one
+	// Step is IterationsPerStep iterations for s-step methods).
+	ReductionsPerIter float64 `json:"reductions_per_iter"`
+	// IterationsPerStep is s for s-step solvers, 1 otherwise.
+	IterationsPerStep int `json:"iterations_per_step"`
+}
+
 // autoResult compares adaptive format selection against every
 // hand-picked format on one matrix structure.
 type autoResult struct {
@@ -105,6 +119,9 @@ type report struct {
 	// FormatAuto is the adaptive-selection sweep, one entry per matrix
 	// structure.
 	FormatAuto map[string]autoResult `json:"format_auto"`
+	// ReductionsPerIter is the communication-avoidance ledger: global
+	// reductions per iteration for the CG family.
+	ReductionsPerIter map[string]reductionResult `json:"reductions_per_iter"`
 }
 
 // solverPlanner builds a real (non-virtual) planner on lap2d:64x64 and
@@ -256,6 +273,42 @@ func measureSolverFusion() map[string]fusionResult {
 		"pipecg":           measureFusion(func(p *core.Planner) solvers.Solver { return solvers.NewPipeCG(p) }),
 		"bicgstab_fused":   measureFusion(func(p *core.Planner) solvers.Solver { return solvers.NewBiCGStab(p) }),
 		"bicgstab_unfused": measureFusion(func(p *core.Planner) solvers.Solver { return solvers.NewBiCGStabUnfused(p) }),
+	}
+}
+
+// measureReductions counts the reduction tasks one solver launches over
+// a steady-state window, with tracing and graph retention on, and
+// normalizes by iterations (window × itersPerStep).
+func measureReductions(itersPerStep int, mk func(p *core.Planner) solvers.Solver) reductionResult {
+	const window = 40
+	p, s := solverPlanner(true, mk)
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	p.Drain()
+	before := p.Runtime().Graph().Len()
+	for i := 0; i < window; i++ {
+		s.Step()
+	}
+	p.Drain()
+	g := p.Runtime().Graph()
+	count := 0
+	for _, n := range g.Nodes[before:] {
+		if n.Name == "dot.reduce" || n.Name == "dot.batchreduce" {
+			count++
+		}
+	}
+	return reductionResult{
+		ReductionsPerIter: float64(count) / float64(window*itersPerStep),
+		IterationsPerStep: itersPerStep,
+	}
+}
+
+func measureReductionLedger() map[string]reductionResult {
+	return map[string]reductionResult{
+		"cg":       measureReductions(1, func(p *core.Planner) solvers.Solver { return solvers.NewCG(p) }),
+		"pipecg":   measureReductions(1, func(p *core.Planner) solvers.Solver { return solvers.NewPipeCG(p) }),
+		"sstep-cg": measureReductions(4, func(p *core.Planner) solvers.Solver { return solvers.NewSStepCG(p, 4) }),
 	}
 }
 
@@ -477,7 +530,7 @@ func measureFormatAuto() map[string]autoResult {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr6.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_pr7.json", "output file ('-' for stdout)")
 	strict := flag.Bool("strict", false, "exit non-zero when a performance gate fails (CI sets this)")
 	flag.Parse()
 
@@ -486,10 +539,11 @@ func main() {
 			"replay_off": measureLaunch(false),
 			"replay_on":  measureLaunch(true),
 		},
-		LaunchHotPath: measureHotPath(),
-		SpMVFormats:   measureSpMV(),
-		SolverFusion:  measureSolverFusion(),
-		FormatAuto:    measureFormatAuto(),
+		LaunchHotPath:     measureHotPath(),
+		SpMVFormats:       measureSpMV(),
+		SolverFusion:      measureSolverFusion(),
+		FormatAuto:        measureFormatAuto(),
+		ReductionsPerIter: measureReductionLedger(),
 	}
 
 	var failures []string
@@ -520,6 +574,15 @@ func main() {
 		gate(ar.Ratio <= 1.10,
 			"%s: auto (%.0f ns) is %.2fx the best hand-picked format %s (%.0f ns), gate <= 1.10x",
 			name, ar.AutoNs, ar.Ratio, ar.Best, ar.BestNs)
+	}
+	// Communication-avoidance gates: these counts are deterministic graph
+	// structure, not timings, so equality is exact. s-step CG must pay
+	// exactly one global reduction per s iterations — the paper-level
+	// claim the matrix-powers kernel exists to earn.
+	for name, want := range map[string]float64{"cg": 2, "pipecg": 1, "sstep-cg": 0.25} {
+		rr := rep.ReductionsPerIter[name]
+		gate(rr.ReductionsPerIter == want,
+			"%s performs %.3g reductions/iteration, gate == %.3g", name, rr.ReductionsPerIter, want)
 	}
 	for _, msg := range failures {
 		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: %s\n", msg)

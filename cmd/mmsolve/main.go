@@ -25,7 +25,8 @@
 //
 // Exit status: 0 on a converged solve (including one that recovered from
 // injected or real task failures), 1 on non-convergence, breakdown, or
-// unrecovered task failure, 2 on usage errors.
+// unrecovered task failure, 2 on usage errors — including an unknown
+// -format or -solver name (the error lists the valid spellings).
 package main
 
 import (
@@ -49,7 +50,7 @@ import (
 )
 
 func main() {
-	solverName := flag.String("solver", "bicgstab", "cg, bicgstab, gmres, minres, bicg, cgs, or pcg")
+	solverName := flag.String("solver", "bicgstab", "cg, pipecg, sstep-cg, bicgstab, gmres, pgmres, gcrodr, minres, bicg, cgs, or pcg")
 	tol := flag.Float64("tol", 1e-8, "residual tolerance")
 	maxIter := flag.Int("maxiter", 10000, "iteration limit")
 	pieces := flag.Int("pieces", 8, "vector pieces")
@@ -75,6 +76,11 @@ func main() {
 	plan, err := fault.ParsePlan(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
+		os.Exit(2)
+	}
+	if !knownSolver(*solverName) {
+		fmt.Fprintf(os.Stderr, "mmsolve: unknown solver %q (valid: %s)\n",
+			*solverName, strings.Join(solvers.Names, ", "))
 		os.Exit(2)
 	}
 
@@ -116,13 +122,15 @@ func main() {
 		tuned := p.AddOperatorAuto(a, si, ri)
 		fmt.Printf("format: auto -> %s\n", strings.Join(tuned.SelectedFormats(), " "))
 	} else {
-		canon := canonicalFormat(*format)
-		if canon == "" {
-			fmt.Fprintf(os.Stderr, "mmsolve: unknown format %q (have %s, Auto)\n",
-				*format, strings.Join(sparse.Formats, ", "))
+		// ConvertNamed resolves the name case-insensitively and returns a
+		// named error listing the valid formats — a bad -format is a usage
+		// error (exit 2), never a panic.
+		m, err := sparse.ConvertNamed(a, *format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmsolve:", err)
 			os.Exit(2)
 		}
-		p.AddOperator(sparse.Convert(a, canon), si, ri)
+		p.AddOperator(m, si, ri)
 	}
 	if *solverName == "pcg" {
 		p.AddPreconditioner(precond.Jacobi(a), si, ri)
@@ -264,16 +272,20 @@ func loadMatrix(arg string) (*sparse.CSR, error) {
 	return sparse.ReadMatrixMarket(f)
 }
 
-// canonicalFormat resolves a case-insensitive user-supplied format name
-// ("csr", "ELL'", "bcsr") to its canonical sparse.Formats spelling, or ""
-// when no format matches.
-func canonicalFormat(name string) string {
-	for _, f := range sparse.Formats {
-		if strings.EqualFold(name, f) {
-			return f
+// knownSolver reports whether solvers.New accepts the name: the public
+// list plus the unfused ablation variants, which stay usable from the
+// CLI for benchmark reproduction.
+func knownSolver(name string) bool {
+	for _, n := range solvers.Names {
+		if name == n {
+			return true
 		}
 	}
-	return ""
+	switch name {
+	case "cg-unfused", "pcg-unfused", "bicgstab-unfused":
+		return true
+	}
+	return false
 }
 
 func injectedCount(in *fault.Injector) int64 {

@@ -160,11 +160,11 @@ func TestFaultParsePlanEmptyAndErrors(t *testing.T) {
 		t.Fatalf("empty spec: plan %+v, err %v", p, err)
 	}
 	for _, bad := range []string{
-		"panic",          // not key=value
-		"panic=lots",     // bad float
-		"bogus=1",        // unknown key
+		"panic",             // not key=value
+		"panic=lots",        // bad float
+		"bogus=1",           // unknown key
 		"panic=0.9,nan=0.9", // rates sum past 1
-		"panic=-0.1",     // negative rate
+		"panic=-0.1",        // negative rate
 	} {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q) succeeded, want error", bad)

@@ -14,14 +14,14 @@ import (
 // are microseconds.
 
 type traceEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts  float64 `json:"ts"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
 	// Dur must not be omitempty: poisoned/cancelled tasks record
 	// zero-duration "X" events, and an X event without a dur field is
 	// rendered as garbage (or dropped) by Chrome-trace consumers.
-	Dur float64 `json:"dur"`
+	Dur  float64        `json:"dur"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -57,8 +58,16 @@ func Compare(real []obs.Span, simRes Result) Comparison {
 	for i, s := range real {
 		a := get(s.Name)
 		a.realCount++
-		a.realTotal += s.Duration()
-		c.RealBusy += s.Duration()
+		// Clamp pathological spans: a poisoned task records a zero-width
+		// span, and a clock hiccup can yield a negative or NaN duration.
+		// Folding either into the totals would NaN-poison every aggregate
+		// (RealBusy, the row ratio, BusyRatio) for one bad span.
+		d := s.Duration()
+		if math.IsNaN(d) || d < 0 {
+			d = 0
+		}
+		a.realTotal += d
+		c.RealBusy += d
 		if i == 0 || s.Launch < minLaunch {
 			minLaunch = s.Launch
 		}
@@ -87,8 +96,11 @@ func Compare(real []obs.Span, simRes Result) Comparison {
 			SimCount:  a.simCount,
 			SimTotal:  a.simTotal,
 		}
-		if a.realTotal > 0 {
-			row.Ratio = a.simTotal / a.realTotal
+		// A span class whose every instance measured zero duration (all
+		// poisoned, or sub-resolution) has no meaningful ratio: leave it 0
+		// rather than dividing to ±Inf/NaN.
+		if q := a.simTotal / a.realTotal; a.realTotal > 0 && !math.IsNaN(q) && !math.IsInf(q, 0) {
+			row.Ratio = q
 		}
 		c.Rows = append(c.Rows, row)
 	}
@@ -101,6 +113,17 @@ func Compare(real []obs.Span, simRes Result) Comparison {
 	return c
 }
 
+// BusyRatio returns the aggregate SimBusy / RealBusy, the one-number
+// calibration check, or 0 when the measured side is empty or the
+// quotient is not finite.
+func (c Comparison) BusyRatio() float64 {
+	q := c.SimBusy / c.RealBusy
+	if c.RealBusy <= 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		return 0
+	}
+	return q
+}
+
 // String renders the comparison as a fixed-width table.
 func (c Comparison) String() string {
 	var b strings.Builder
@@ -110,7 +133,7 @@ func (c Comparison) String() string {
 		"task", "real#", "real(s)", "sim#", "sim(s)", "sim/real")
 	for _, r := range c.Rows {
 		ratio := "-"
-		if r.Ratio > 0 {
+		if r.Ratio > 0 && !math.IsInf(r.Ratio, 0) {
 			ratio = fmt.Sprintf("%.3f", r.Ratio)
 		}
 		fmt.Fprintf(&b, "%-24s %8d %12.6f %8d %12.6f %8s\n",

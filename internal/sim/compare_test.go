@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -94,6 +95,52 @@ func TestCompare(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("String() missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCompareZeroDurationClass is the divide-by-zero regression: a span
+// class whose only instances are zero-width (a poisoned task's record)
+// or corrupt (NaN/negative durations from a clock hiccup) must keep every
+// aggregate finite — no NaN rows, no Inf ratios, a renderable table.
+func TestCompareZeroDurationClass(t *testing.T) {
+	var g taskrt.Graph
+	a := g.Add(taskrt.Node{Name: "poisoned", Proc: 0, Cost: 1})
+	g.Add(taskrt.Node{Name: "dot", Proc: 0, Cost: 2, Deps: []int64{a}, DepBytes: []int64{0}})
+	simRes := Simulate(g, testMachine(), Options{RecordSpans: true})
+
+	nan := math.NaN()
+	real := []obs.Span{
+		// Zero-width: a poisoned task records Start == End.
+		{ID: 0, Name: "poisoned", Launch: 0, Start: 0.5, End: 0.5},
+		// Corrupt clocks: NaN and negative durations must clamp to zero.
+		{ID: 1, Name: "poisoned", Launch: 0, Start: nan, End: nan},
+		{ID: 2, Name: "poisoned", Launch: 0, Start: 1.0, End: 0.25},
+		{ID: 3, Name: "dot", Launch: 0, Start: 0, End: 1},
+	}
+	c := Compare(real, simRes)
+
+	if math.IsNaN(c.RealBusy) || c.RealBusy != 1 {
+		t.Fatalf("RealBusy = %g, want 1 (clamped)", c.RealBusy)
+	}
+	for _, r := range c.Rows {
+		if math.IsNaN(r.RealTotal) || math.IsNaN(r.Ratio) || math.IsInf(r.Ratio, 0) {
+			t.Fatalf("non-finite aggregate in row %+v", r)
+		}
+		if r.Name == "poisoned" && r.Ratio != 0 {
+			t.Fatalf("zero-measured class has ratio %g, want 0", r.Ratio)
+		}
+	}
+	if br := c.BusyRatio(); math.IsNaN(br) || math.IsInf(br, 0) || br <= 0 {
+		t.Fatalf("BusyRatio = %g, want finite positive", br)
+	}
+	if out := c.String(); strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("String() leaked a non-finite value:\n%s", out)
+	}
+
+	// All-zero measured side: BusyRatio must degrade to 0, not Inf.
+	c = Compare([]obs.Span{{ID: 0, Name: "poisoned", Start: 1, End: 1}}, simRes)
+	if br := c.BusyRatio(); br != 0 {
+		t.Fatalf("BusyRatio over zero busy = %g, want 0", br)
 	}
 }
 

@@ -25,6 +25,13 @@ type GMRES struct {
 	beta  *core.Scalar     // ‖r₀‖ at cycle start
 	j     int              // next column within the cycle
 	res   *core.Scalar
+	// ls maintains the incremental Givens least-squares estimate of the
+	// cycle residual on real planners, so the convergence measure tracks
+	// progress every step instead of freezing at the restart value. The
+	// estimate is a recurrence and can drift from the true residual across
+	// an ill-conditioned cycle; VerifyConvergence recomputes r = b − Ax
+	// before convergence is believed.
+	ls *givensLS
 	// tr is true while a per-cycle trace scope is open. GMRES traces the
 	// whole restart cycle (m Arnoldi steps + least-squares update +
 	// restart) as one instance: per-step scopes would never replay
@@ -61,6 +68,10 @@ func (s *GMRES) restart() {
 	p.Scal(r, p.Div(p.Constant(1), s.beta)) // v₀ = r / β
 	s.h = make([][]*core.Scalar, 0, s.m)
 	s.j = 0
+	s.ls = nil
+	if !p.Virtual() {
+		s.ls = newGivensLS(s.beta.Value(), s.m)
+	}
 }
 
 // Name implements Solver.
@@ -109,6 +120,14 @@ func (s *GMRES) Step() {
 			s.tr = false
 			return
 		}
+		// Fold the new column into the Givens recurrence: |g_{j+1}| is the
+		// cycle's least-squares residual, the per-step convergence measure.
+		vals := make([]float64, j+2)
+		for i, sc := range col {
+			vals[i] = sc.Value()
+		}
+		est := s.ls.push(vals)
+		s.res = p.Constant(est * est)
 	}
 
 	p.Copy(s.basis[j+1], s.w)
@@ -128,52 +147,16 @@ func (s *GMRES) finishCycle() {
 	p := s.p
 	p.BeginPhase("gmres.update")
 	m := s.j
-	// Pull the Hessenberg entries and β (synchronizes).
-	h := make([][]float64, m) // h[j] has m+1 rows
+	// Pull the Hessenberg entries and β (synchronizes), then solve the
+	// small least-squares problem with the shared Givens helper.
+	h := make([][]float64, m)
 	for j := 0; j < m; j++ {
-		h[j] = make([]float64, m+1)
-		for i, sc := range s.h[j] {
-			h[j][i] = sc.Value()
+		h[j] = make([]float64, j+2)
+		for i := 0; i <= j+1; i++ {
+			h[j][i] = s.h[j][i].Value()
 		}
 	}
-	g := make([]float64, m+1)
-	g[0] = s.beta.Value()
-
-	// Givens rotations reduce H to upper triangular.
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	for j := 0; j < m; j++ {
-		// Apply earlier rotations to column j.
-		for i := 0; i < j; i++ {
-			t := cs[i]*h[j][i] + sn[i]*h[j][i+1]
-			h[j][i+1] = -sn[i]*h[j][i] + cs[i]*h[j][i+1]
-			h[j][i] = t
-		}
-		d := math.Hypot(h[j][j], h[j][j+1])
-		if d == 0 {
-			cs[j], sn[j] = 1, 0
-		} else {
-			cs[j], sn[j] = h[j][j]/d, h[j][j+1]/d
-		}
-		h[j][j] = d
-		h[j][j+1] = 0
-		t := cs[j]*g[j] + sn[j]*g[j+1]
-		g[j+1] = -sn[j]*g[j] + cs[j]*g[j+1]
-		g[j] = t
-	}
-
-	// Back substitution for y.
-	y := make([]float64, m)
-	for i := m - 1; i >= 0; i-- {
-		t := g[i]
-		for k := i + 1; k < m; k++ {
-			t -= h[k][i] * y[k]
-		}
-		if h[i][i] != 0 {
-			t /= h[i][i]
-		}
-		y[i] = t
-	}
+	y, _ := solveHessenberg(h, s.beta.Value())
 
 	// x += Σ y_j v_j. Zero coefficients still launch so that real and
 	// virtual planners record identical graphs.
@@ -183,4 +166,19 @@ func (s *GMRES) finishCycle() {
 		}
 		p.AxpyConst(core.SOL, y[j], s.basis[j])
 	}
+}
+
+// VerifyConvergence implements ConvergenceVerifier: the per-step Givens
+// estimate is a recurrence over rounded Hessenberg entries and can claim
+// convergence while drifting from the truth (the restart-boundary false
+// convergence this fixes). Finish the open cycle — which actually
+// updates x — restart, and report the honestly recomputed ‖b − Ax‖.
+func (s *GMRES) VerifyConvergence() float64 {
+	if s.j > 0 {
+		s.finishCycle()
+		s.restart()
+		s.p.TraceEnd(s.tr)
+		s.tr = false
+	}
+	return math.Sqrt(math.Max(s.res.Value(), 0))
 }

@@ -1,0 +1,192 @@
+package solvers
+
+import (
+	"math"
+
+	"kdrsolvers/internal/core"
+)
+
+// PGMRES is Ghysels-style pipelined GMRES (p1-GMRES): where classical
+// GMRES(m) issues j+2 dependent reduction points per Arnoldi step
+// (modified Gram-Schmidt dot after dot, then the norm), PGMRES folds the
+// whole step's inner products into ONE DotBatch — ⟨z_j, v_i⟩ for i ≤ j
+// plus ⟨z_j, z_j⟩ — and launches the next matrix-vector product
+// u = A·z_j immediately after, so the SpMV overlaps the reduction
+// in flight, the same overlap idiom PipeCG uses. The auxiliary basis
+// z_j = A·v_j is advanced by the same recurrence as v (one extra fused
+// axpy sweep, no extra SpMV), and the lost norm is recovered by
+// Pythagoras: h_{j+1,j} = √(‖z_j‖² − Σᵢ h²ᵢⱼ). The price is classical
+// Gram-Schmidt orthogonalization (slightly less stable than MGS) and
+// one extra basis copy per step.
+type PGMRES struct {
+	p     *core.Planner
+	m     int
+	basis []core.VecID // v₀ … v_m
+	z     []core.VecID // z_j = A v_j
+	u     core.VecID
+	h     [][]*core.Scalar
+	beta  *core.Scalar
+	j     int
+	res   *core.Scalar
+	ls    *givensLS // incremental residual estimate (real planners)
+	tr    bool
+}
+
+// NewPGMRES builds a pipelined GMRES solver with restart length m.
+func NewPGMRES(p *core.Planner, m int) *PGMRES {
+	if !p.IsSquare() {
+		panic("solvers: PGMRES requires a square system")
+	}
+	if m < 1 {
+		panic("solvers: PGMRES restart length must be positive")
+	}
+	s := &PGMRES{p: p, m: m, u: p.AllocateWorkspace(core.RhsShape)}
+	for i := 0; i <= m; i++ {
+		s.basis = append(s.basis, p.AllocateWorkspace(core.RhsShape))
+		s.z = append(s.z, p.AllocateWorkspace(core.RhsShape))
+	}
+	s.restart()
+	return s
+}
+
+// restart begins a cycle: v₀ = r/‖r‖ with the recomputed true residual
+// r = b − Ax, and z₀ = A·v₀. The convergence measure is reset to the
+// honest ‖r‖², so a cycle boundary never inherits estimate drift.
+func (s *PGMRES) restart() {
+	p := s.p
+	p.BeginPhase("pgmres.restart")
+	r := s.basis[0]
+	residualInit(p, r)
+	rr := p.Dot(r, r)
+	s.res = rr
+	s.beta = p.Sqrt(rr)
+	p.Scal(r, p.Div(p.Constant(1), s.beta))
+	p.Matmul(s.z[0], r)
+	s.h = make([][]*core.Scalar, 0, s.m)
+	s.j = 0
+	s.ls = nil
+	if !p.Virtual() {
+		s.ls = newGivensLS(s.beta.Value(), s.m)
+	}
+}
+
+// Name implements Solver.
+func (s *PGMRES) Name() string { return "PGMRES" }
+
+// ConvergenceMeasure implements Solver: the squared Givens residual
+// estimate, updated every step (true residual at cycle boundaries).
+func (s *PGMRES) ConvergenceMeasure() *core.Scalar { return s.res }
+
+// Step implements Solver: one pipelined Arnoldi step.
+func (s *PGMRES) Step() {
+	p := s.p
+	p.BeginPhase("pgmres.arnoldi")
+	if s.j == 0 {
+		s.tr = p.TraceBegin("pgmres.cycle")
+	}
+	j := s.j
+	zj := s.z[j]
+
+	// The step's single reduction: every Gram-Schmidt coefficient and the
+	// Pythagoras norm operand, batched. The next SpMV launches right
+	// behind it and overlaps the reduction tree.
+	pairs := make([]core.DotPair, j+2)
+	for i := 0; i <= j; i++ {
+		pairs[i] = core.DotPair{V: zj, W: s.basis[i]}
+	}
+	pairs[j+1] = core.DotPair{V: zj, W: zj}
+	dots := p.DotBatch(pairs...)
+	p.Matmul(s.u, zj)
+
+	col := make([]*core.Scalar, j+2)
+	copy(col, dots[:j+1])
+	col[j+1] = p.ScalarExpr("pgmres.pythag", func(v []float64) float64 {
+		t := v[0]
+		for _, a := range v[1:] {
+			t -= a * a
+		}
+		return math.Sqrt(math.Max(t, 0))
+	}, append([]*core.Scalar{dots[j+1]}, dots[:j+1]...)...)
+	s.h = append(s.h, col)
+	s.j++
+
+	if !p.Virtual() {
+		// Happy breakdown, as in GMRES: the deflated z vanished, the cycle
+		// solution is exact; solve and restart instead of dividing by ~0.
+		hv := col[j+1].Value()
+		if hv <= 1e-14*(1+math.Abs(s.beta.Value())) {
+			s.finishCycle()
+			s.restart()
+			p.TraceEnd(s.tr)
+			s.tr = false
+			return
+		}
+		// Per-step residual estimate from the incremental Givens
+		// least-squares recurrence (satellite: the estimate alone must
+		// never decide convergence — VerifyConvergence recomputes the true
+		// residual before Solve may stop).
+		vals := make([]float64, j+2)
+		for i, sc := range col {
+			vals[i] = sc.Value()
+		}
+		est := s.ls.push(vals)
+		s.res = p.Constant(est * est)
+	}
+
+	// v_{j+1} = (z_j − Σ h_{ij} v_i)/h_{j+1,j} and the companion
+	// recurrence z_{j+1} = (u − Σ h_{ij} z_i)/h_{j+1,j}, one fused sweep.
+	p.Copy(s.basis[j+1], zj)
+	p.Copy(s.z[j+1], s.u)
+	ups := make([]core.VecUpdate, 0, 2*(j+1))
+	for i := 0; i <= j; i++ {
+		ups = append(ups,
+			core.VecUpdate{Kind: core.UpdAxpy, Dst: s.basis[j+1], Alpha: col[i], Neg: true, Src: s.basis[i]},
+			core.VecUpdate{Kind: core.UpdAxpy, Dst: s.z[j+1], Alpha: col[i], Neg: true, Src: s.z[i]},
+		)
+	}
+	p.FusedUpdate(ups...)
+	inv := p.Div(p.Constant(1), col[j+1])
+	p.Scal(s.basis[j+1], inv)
+	p.Scal(s.z[j+1], inv)
+
+	if s.j == s.m {
+		s.finishCycle()
+		s.restart()
+		p.TraceEnd(s.tr)
+		s.tr = false
+	}
+}
+
+// finishCycle solves the cycle's Hessenberg least-squares problem and
+// applies x += V y.
+func (s *PGMRES) finishCycle() {
+	p := s.p
+	p.BeginPhase("pgmres.update")
+	m := s.j
+	h := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		h[j] = make([]float64, j+2)
+		for i, sc := range s.h[j] {
+			h[j][i] = sc.Value()
+		}
+	}
+	y, _ := solveHessenberg(h, s.beta.Value())
+	for j := 0; j < m; j++ {
+		if math.IsNaN(y[j]) {
+			continue
+		}
+		p.AxpyConst(core.SOL, y[j], s.basis[j])
+	}
+}
+
+// VerifyConvergence implements ConvergenceVerifier: finish the open
+// cycle (updating x), restart, and report the recomputed true residual.
+func (s *PGMRES) VerifyConvergence() float64 {
+	if s.j > 0 {
+		s.finishCycle()
+		s.restart()
+		s.p.TraceEnd(s.tr)
+		s.tr = false
+	}
+	return math.Sqrt(math.Max(s.res.Value(), 0))
+}

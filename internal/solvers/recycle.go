@@ -1,0 +1,352 @@
+package solvers
+
+import (
+	"math"
+	"sync"
+
+	"kdrsolvers/internal/core"
+)
+
+// GCRO-DR (Parks et al.): GMRES with deflated restarting and subspace
+// recycling across solves. The solver maintains k recycle vectors U with
+// C = A·U orthonormal; every restart projects the residual onto the
+// complement of range(C) (x += U Cᵀr, r −= C Cᵀr), and every Arnoldi
+// step deflates A v_j against C, so the Krylov iteration runs on
+// (I − CCᵀ)A and never re-discovers the deflated directions. At each
+// cycle end the recycle space is refreshed from the Ritz vectors of
+// smallest magnitude — the slowly-converging directions worth keeping.
+//
+// Across solves the space travels through a RecycleCache keyed by the
+// planner's operator fingerprint: sequences of systems sharing an
+// operator (examples/relatedsystems, examples/multirhs) warm-start each
+// solve with the previous one's deflation space.
+
+// RecycleCache carries harvested recycle spaces between solves, keyed by
+// operator identity. Safe for concurrent use.
+type RecycleCache struct {
+	mu      sync.Mutex
+	entries map[string][][]float64
+}
+
+// NewRecycleCache returns an empty cross-solve recycle store.
+func NewRecycleCache() *RecycleCache {
+	return &RecycleCache{entries: map[string][][]float64{}}
+}
+
+func (c *RecycleCache) load(fp string) [][]float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[fp]
+}
+
+func (c *RecycleCache) store(fp string, u [][]float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries[fp] = u
+	c.mu.Unlock()
+}
+
+// GCRODR is the recycling solver. A nil cache still performs deflated
+// restarting within one solve; a shared cache adds cross-solve recycling.
+type GCRODR struct {
+	p     *core.Planner
+	m, k  int
+	cache *RecycleCache
+	basis []core.VecID // v₀ … v_m
+	w     core.VecID
+	uvec  []core.VecID // recycle space U
+	cvec  []core.VecID // C = A·U, orthonormal
+	nrec  int          // active recycle vectors (0 until first harvest)
+	h     [][]*core.Scalar
+	bcol  [][]*core.Scalar // deflation coefficients B[j][i] = ⟨A v_j, c_i⟩
+	beta  *core.Scalar
+	j     int
+	res   *core.Scalar
+	ls    *givensLS
+	tr    bool
+}
+
+// NewGCRODR builds a GCRO-DR solver with cycle length m keeping k
+// recycle vectors. If cache holds a space for this planner's operator
+// fingerprint (real planners only), the solve warm-starts from it.
+func NewGCRODR(p *core.Planner, m, k int, cache *RecycleCache) *GCRODR {
+	if !p.IsSquare() {
+		panic("solvers: GCRO-DR requires a square system")
+	}
+	if m < 1 || k < 1 || k >= m {
+		panic("solvers: GCRO-DR needs 1 ≤ k < m")
+	}
+	s := &GCRODR{p: p, m: m, k: k, cache: cache, w: p.AllocateWorkspace(core.RhsShape)}
+	for i := 0; i <= m; i++ {
+		s.basis = append(s.basis, p.AllocateWorkspace(core.RhsShape))
+	}
+	for i := 0; i < k; i++ {
+		s.uvec = append(s.uvec, p.AllocateWorkspace(core.RhsShape))
+		s.cvec = append(s.cvec, p.AllocateWorkspace(core.RhsShape))
+	}
+	if !p.Virtual() {
+		if cached := cache.load(p.OperatorFingerprint()); len(cached) == s.k {
+			// Nothing is in flight yet, so the cached space can be copied
+			// straight into the workspaces' backing storage.
+			ok := true
+			for i := range cached {
+				if len(cached[i]) != len(p.VecData(s.uvec[i], 0)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for i := range cached {
+					copy(p.VecData(s.uvec[i], 0), cached[i])
+				}
+				s.nrec = s.k
+				s.refreshC()
+			}
+		}
+	}
+	s.restart()
+	return s
+}
+
+// refreshC recomputes C = A·U and MGS-orthonormalizes the pairs so that
+// C stays orthonormal with A·uᵢ = cᵢ (every combination applied to C is
+// mirrored on U).
+func (s *GCRODR) refreshC() {
+	p := s.p
+	p.BeginPhase("gcrodr.recycle")
+	for i := 0; i < s.nrec; i++ {
+		p.Matmul(s.cvec[i], s.uvec[i])
+	}
+	for i := 0; i < s.nrec; i++ {
+		for l := 0; l < i; l++ {
+			d := p.Dot(s.cvec[i], s.cvec[l])
+			p.Axpy(s.cvec[i], p.Neg(d), s.cvec[l])
+			p.Axpy(s.uvec[i], p.Neg(d), s.uvec[l])
+		}
+		inv := p.Div(p.Constant(1), p.Sqrt(p.Dot(s.cvec[i], s.cvec[i])))
+		p.Scal(s.cvec[i], inv)
+		p.Scal(s.uvec[i], inv)
+	}
+}
+
+// restart begins a cycle: recompute the true residual, project it
+// against the recycle space (improving x), and normalize v₀.
+func (s *GCRODR) restart() {
+	p := s.p
+	p.BeginPhase("gcrodr.restart")
+	r := s.basis[0]
+	residualInit(p, r)
+	// Optimal correction within range(U): x += U Cᵀr, r −= C Cᵀr. Since
+	// A·uᵢ = cᵢ, the residual identity r = b − Ax is preserved exactly.
+	for i := 0; i < s.nrec; i++ {
+		z := p.Dot(r, s.cvec[i])
+		p.Axpy(core.SOL, z, s.uvec[i])
+		p.Axpy(r, p.Neg(z), s.cvec[i])
+	}
+	rr := p.Dot(r, r)
+	s.res = rr
+	s.beta = p.Sqrt(rr)
+	p.Scal(r, p.Div(p.Constant(1), s.beta))
+	s.h = make([][]*core.Scalar, 0, s.m)
+	s.bcol = make([][]*core.Scalar, 0, s.m)
+	s.j = 0
+	s.ls = nil
+	if !p.Virtual() {
+		s.ls = newGivensLS(s.beta.Value(), s.m)
+	}
+}
+
+// Name implements Solver.
+func (s *GCRODR) Name() string { return "GCRO-DR" }
+
+// ConvergenceMeasure implements Solver.
+func (s *GCRODR) ConvergenceMeasure() *core.Scalar { return s.res }
+
+// Step implements Solver: one deflated Arnoldi step.
+func (s *GCRODR) Step() {
+	p := s.p
+	p.BeginPhase("gcrodr.arnoldi")
+	if s.j == 0 {
+		s.tr = p.TraceBegin("gcrodr.cycle")
+	}
+	j := s.j
+	p.Matmul(s.w, s.basis[j])
+	// Deflate against the recycle space: w ← (I − CCᵀ) A v_j, recording
+	// the C-components as the B coupling block.
+	bc := make([]*core.Scalar, s.nrec)
+	for i := 0; i < s.nrec; i++ {
+		bij := p.Dot(s.w, s.cvec[i])
+		bc[i] = bij
+		p.Axpy(s.w, p.Neg(bij), s.cvec[i])
+	}
+	s.bcol = append(s.bcol, bc)
+	col := make([]*core.Scalar, j+2)
+	for i := 0; i <= j; i++ {
+		hij := p.Dot(s.w, s.basis[i])
+		col[i] = hij
+		p.Axpy(s.w, p.Neg(hij), s.basis[i])
+	}
+	hlast := p.Sqrt(p.Dot(s.w, s.w))
+	col[j+1] = hlast
+	s.h = append(s.h, col)
+	s.j++
+
+	if !p.Virtual() {
+		hv := hlast.Value()
+		if hv <= 1e-14*(1+math.Abs(s.beta.Value())) {
+			s.finishCycle()
+			s.restart()
+			p.TraceEnd(s.tr)
+			s.tr = false
+			return
+		}
+		vals := make([]float64, j+2)
+		for i, sc := range col {
+			vals[i] = sc.Value()
+		}
+		est := s.ls.push(vals)
+		s.res = p.Constant(est * est)
+	}
+
+	p.Copy(s.basis[j+1], s.w)
+	p.Scal(s.basis[j+1], p.Div(p.Constant(1), hlast))
+
+	if s.j == s.m {
+		s.finishCycle()
+		s.restart()
+		p.TraceEnd(s.tr)
+		s.tr = false
+	}
+}
+
+// finishCycle solves the cycle's least-squares problem, applies
+// x += V y − U (B y) (the C-block of A·(Vy) is cancelled through U, as
+// in GCRO), and harvests the next recycle space from the cycle's
+// smallest Ritz vectors.
+func (s *GCRODR) finishCycle() {
+	p := s.p
+	p.BeginPhase("gcrodr.update")
+	m := s.j
+	h := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		h[j] = make([]float64, j+2)
+		for i, sc := range s.h[j] {
+			h[j][i] = sc.Value()
+		}
+	}
+	y, _ := solveHessenberg(h, s.beta.Value())
+	for j := 0; j < m; j++ {
+		if math.IsNaN(y[j]) {
+			continue
+		}
+		p.AxpyConst(core.SOL, y[j], s.basis[j])
+	}
+	if s.nrec > 0 {
+		by := make([]float64, s.nrec)
+		for j := 0; j < m; j++ {
+			if math.IsNaN(y[j]) {
+				continue
+			}
+			for i := 0; i < s.nrec; i++ {
+				by[i] += s.bcol[j][i].Value() * y[j]
+			}
+		}
+		for i := 0; i < s.nrec; i++ {
+			if !math.IsNaN(by[i]) {
+				p.AxpyConst(core.SOL, -by[i], s.uvec[i])
+			}
+		}
+	}
+	s.harvest(h, m)
+}
+
+// harvest replaces the recycle space with the cycle's k Ritz vectors of
+// smallest magnitude — U_t = Σ_j y_t[j] v_j, launched in the dataflow
+// (the runtime orders the reads before the next cycle overwrites the
+// basis) — and relinearizes C = A·U.
+func (s *GCRODR) harvest(h [][]float64, m int) {
+	if s.p.Virtual() || m <= s.k {
+		return
+	}
+	// Ritz values of the deflated operator from the symmetrized m×m
+	// Hessenberg block.
+	sym := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		sym[i] = make([]float64, m)
+	}
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			if i < len(h[j]) {
+				sym[i][j] = h[j][i]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := (sym[i][j] + sym[j][i]) / 2
+			if math.IsNaN(v) {
+				return
+			}
+			sym[i][j], sym[j][i] = v, v
+		}
+	}
+	vals, vecs := jacobiEigen(sym)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	for a := 0; a < m; a++ { // selection sort by |θ|, smallest first
+		best := a
+		for b := a + 1; b < m; b++ {
+			if math.Abs(vals[order[b]]) < math.Abs(vals[order[best]]) {
+				best = b
+			}
+		}
+		order[a], order[best] = order[best], order[a]
+	}
+	p := s.p
+	p.BeginPhase("gcrodr.harvest")
+	for t := 0; t < s.k; t++ {
+		yt := vecs[order[t]]
+		p.Zero(s.uvec[t])
+		for j := 0; j < m; j++ {
+			if !math.IsNaN(yt[j]) {
+				p.AxpyConst(s.uvec[t], yt[j], s.basis[j])
+			}
+		}
+	}
+	s.nrec = s.k
+	s.refreshC()
+}
+
+// VerifyConvergence implements ConvergenceVerifier.
+func (s *GCRODR) VerifyConvergence() float64 {
+	if s.j > 0 {
+		s.finishCycle()
+		s.restart()
+		s.p.TraceEnd(s.tr)
+		s.tr = false
+	}
+	return math.Sqrt(math.Max(s.res.Value(), 0))
+}
+
+// SaveRecycleSpace publishes the current recycle space into the cache
+// under this planner's operator fingerprint, so the next solve on the
+// same operator warm-starts from it. Call after the planner has drained;
+// it reads vector data host-side. No-op without an active space, on
+// virtual planners, or with a nil cache.
+func (s *GCRODR) SaveRecycleSpace() {
+	if s.cache == nil || s.nrec == 0 || s.p.Virtual() {
+		return
+	}
+	u := make([][]float64, s.nrec)
+	for i := 0; i < s.nrec; i++ {
+		u[i] = append([]float64(nil), s.p.VecData(s.uvec[i], 0)...)
+	}
+	s.cache.store(s.p.OperatorFingerprint(), u)
+}

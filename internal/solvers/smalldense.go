@@ -1,0 +1,220 @@
+package solvers
+
+import "math"
+
+// Host-side small dense linear algebra shared by the GMRES family and
+// the s-step methods: the (m+1)×m Hessenberg least-squares solve, a
+// Jacobi eigensolver for the tiny symmetric projections (Ritz values for
+// Newton shifts, recycling-space harvest), and Leja ordering of shifts.
+// Everything here is O(m³) on m ≲ a few dozen — negligible next to one
+// SpMV — and runs synchronously on already-pulled scalar values.
+
+// givensLS is the incremental Givens least-squares state for a growing
+// Hessenberg system min‖βe₁ − H y‖: the rotations applied so far and the
+// rotated right-hand side. After j columns, |g[j]| is the exact residual
+// norm of the least-squares problem — the GMRES residual estimate.
+type givensLS struct {
+	cs, sn []float64
+	g      []float64
+	r      [][]float64 // rotated upper-triangular columns
+}
+
+func newGivensLS(beta float64, m int) *givensLS {
+	ls := &givensLS{g: make([]float64, m+1)}
+	ls.g[0] = beta
+	return ls
+}
+
+// push absorbs Hessenberg column j (length j+2: h_{0,j} … h_{j+1,j}) and
+// returns the updated residual estimate |g_{j+1}|.
+func (ls *givensLS) push(col []float64) float64 {
+	j := len(ls.cs)
+	h := make([]float64, j+2)
+	copy(h, col)
+	for i := 0; i < j; i++ {
+		t := ls.cs[i]*h[i] + ls.sn[i]*h[i+1]
+		h[i+1] = -ls.sn[i]*h[i] + ls.cs[i]*h[i+1]
+		h[i] = t
+	}
+	d := math.Hypot(h[j], h[j+1])
+	var c, s float64 = 1, 0
+	if d != 0 {
+		c, s = h[j]/d, h[j+1]/d
+	}
+	h[j] = d
+	h[j+1] = 0
+	ls.cs = append(ls.cs, c)
+	ls.sn = append(ls.sn, s)
+	t := c*ls.g[j] + s*ls.g[j+1]
+	ls.g[j+1] = -s*ls.g[j] + c*ls.g[j+1]
+	ls.g[j] = t
+	ls.r = append(ls.r, h)
+	return math.Abs(ls.g[j+1])
+}
+
+// solve back-substitutes for the least-squares coefficients y over the
+// columns absorbed so far.
+func (ls *givensLS) solve() []float64 {
+	m := len(ls.cs)
+	y := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		t := ls.g[i]
+		for k := i + 1; k < m; k++ {
+			t -= ls.r[k][i] * y[k]
+		}
+		if ls.r[i][i] != 0 {
+			t /= ls.r[i][i]
+		}
+		y[i] = t
+	}
+	return y
+}
+
+// solveHessenberg solves min‖βe₁ − H y‖ for an (m+1)×m Hessenberg matrix
+// given as columns h[j] (each of length ≥ j+2), returning the
+// coefficients and the least-squares residual norm.
+func solveHessenberg(h [][]float64, beta float64) (y []float64, res float64) {
+	ls := newGivensLS(beta, len(h))
+	res = beta
+	for j := range h {
+		res = ls.push(h[j][:j+2])
+	}
+	return ls.solve(), res
+}
+
+// jacobiEigen computes the eigendecomposition of a small symmetric
+// matrix by cyclic Jacobi rotations. It returns the eigenvalues and the
+// matrix of eigenvectors (vecs[k] is the unit eigenvector for vals[k]).
+// The input is not modified.
+func jacobiEigen(a [][]float64) (vals []float64, vecs [][]float64) {
+	n := len(a)
+	m := make([][]float64, n)
+	vecs = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		copy(m[i], a[i])
+		vecs[i] = make([]float64, n)
+		vecs[i][i] = 1
+	}
+	for sweep := 0; sweep < 50; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-28 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if m[p][q] == 0 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := vecs[k][p], vecs[k][q]
+					vecs[k][p] = c*vkp - s*vkq
+					vecs[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	// vecs is stored with eigenvector k in column k; transpose so the
+	// caller indexes vecs[k][i] as component i of eigenvector k.
+	out := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		out[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[k][i] = vecs[i][k]
+		}
+	}
+	return vals, out
+}
+
+// lejaOrder reorders shift candidates into Leja order: start from the
+// largest magnitude, then greedily pick the candidate maximizing the
+// product of distances to those already chosen. Leja ordering keeps the
+// Newton basis polynomials from under- or overflowing — applying shifts
+// in sorted order degrades as badly as the monomial basis.
+func lejaOrder(vals []float64) []float64 {
+	n := len(vals)
+	if n == 0 {
+		return nil
+	}
+	rest := append([]float64(nil), vals...)
+	out := make([]float64, 0, n)
+	best := 0
+	for i, v := range rest {
+		if math.Abs(v) > math.Abs(rest[best]) {
+			best = i
+		}
+	}
+	out = append(out, rest[best])
+	rest = append(rest[:best], rest[best+1:]...)
+	for len(rest) > 0 {
+		best = 0
+		bestScore := math.Inf(-1)
+		for i, v := range rest {
+			score := 0.0
+			for _, u := range out {
+				score += math.Log(math.Max(math.Abs(v-u), 1e-300))
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		out = append(out, rest[best])
+		rest = append(rest[:best], rest[best+1:]...)
+	}
+	return out
+}
+
+// ritzFromCG recovers Ritz values of A from CG's α/β coefficient history
+// via the classical CG–Lanczos correspondence: the Lanczos tridiagonal
+// has diagonal 1/αᵢ + βᵢ₋₁/αᵢ₋₁ and off-diagonal √βᵢ/αᵢ. The Ritz
+// values are the eigenvalues of that tridiagonal — the spectral estimates
+// the Newton-basis shifts need, obtained with no extra reductions.
+func ritzFromCG(alphas, betas []float64) []float64 {
+	n := len(alphas)
+	if n == 0 {
+		return nil
+	}
+	t := make([][]float64, n)
+	for i := range t {
+		t[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		t[i][i] = 1 / alphas[i]
+		if i > 0 {
+			t[i][i] += betas[i-1] / alphas[i-1]
+		}
+		if i < n-1 {
+			od := math.Sqrt(math.Max(betas[i], 0)) / alphas[i]
+			t[i][i+1] = od
+			t[i+1][i] = od
+		}
+	}
+	vals, _ := jacobiEigen(t)
+	return vals
+}

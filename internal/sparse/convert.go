@@ -1,5 +1,15 @@
 package sparse
 
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrUnknownFormat is wrapped by every error a format-name lookup
+// produces, so callers can branch on it with errors.Is.
+var ErrUnknownFormat = errors.New("sparse: unknown format")
+
 // CoordsFromCSR extracts the explicit nonzero coordinates of a CSR matrix.
 func CoordsFromCSR(a *CSR) []Coord {
 	out := make([]Coord, 0, a.NNZ())
@@ -46,33 +56,66 @@ func Transpose(a *CSR) *CSR {
 // the dispatch used by format-sweep benchmarks. Block formats use 2 × 2
 // blocks, degrading per axis to width 1 when a dimension is odd, so any
 // shape converts without panicking. "Auto" profiles the matrix and
-// builds a row-banded composite of predicted-fastest formats.
+// builds a row-banded composite of predicted-fastest formats. It panics
+// on an unknown name; callers handling user input should use
+// ConvertNamed, which returns the error instead.
 func Convert(a *CSR, format string) Matrix {
-	switch format {
+	m, err := ConvertNamed(a, format)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// ConvertNamed is Convert with user-input-grade name handling: the
+// format name is matched case-insensitively against Formats (plus
+// "Auto"), and an unrecognized name returns an error wrapping
+// ErrUnknownFormat that lists every valid spelling — no panic.
+func ConvertNamed(a *CSR, format string) (Matrix, error) {
+	canon, ok := CanonicalFormat(format)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (valid: %s, Auto)",
+			ErrUnknownFormat, format, strings.Join(Formats, ", "))
+	}
+	switch canon {
 	case "CSR":
-		return a
+		return a, nil
 	case "COO":
-		return COOFromCSR(a)
+		return COOFromCSR(a), nil
 	case "CSC":
-		return CSCFromCSR(a)
+		return CSCFromCSR(a), nil
 	case "ELL":
-		return ELLFromCSR(a)
+		return ELLFromCSR(a), nil
 	case "ELL'":
-		return ELLPrimeFromCSC(CSCFromCSR(a))
+		return ELLPrimeFromCSC(CSCFromCSR(a)), nil
 	case "DIA":
-		return DIAFromCSR(a)
+		return DIAFromCSR(a), nil
 	case "Dense":
-		return DenseFromMatrix(a)
+		return DenseFromMatrix(a), nil
 	case "BCSR":
 		br, bd := blockShape(a)
-		return BCSRFromCSR(a, br, bd)
+		return BCSRFromCSR(a, br, bd), nil
 	case "BCSC":
 		br, bd := blockShape(a)
-		return BCSCFromCSR(a, br, bd)
-	case "Auto":
-		return AutoSelect(a, defaultAutoBands(a.rows))
+		return BCSCFromCSR(a, br, bd), nil
 	}
-	panic("sparse: unknown format " + format)
+	// CanonicalFormat admits nothing else, so this is "Auto".
+	return AutoSelect(a, defaultAutoBands(a.rows)), nil
+}
+
+// CanonicalFormat resolves a case-insensitive user-supplied format name
+// ("csr", "ell'", "bcsr", "auto") to its canonical spelling. The second
+// return is false when no format matches.
+func CanonicalFormat(name string) (string, bool) {
+	for _, f := range Formats {
+		if strings.EqualFold(name, f) {
+			return f, true
+		}
+	}
+	if strings.EqualFold(name, "Auto") {
+		return "Auto", true
+	}
+	return "", false
 }
 
 // blockShape picks the block dimensions Convert uses for BCSR/BCSC: 2×2

@@ -1,5 +1,7 @@
 package sparse
 
+import "math"
+
 // Adaptive format selection (MSREP-style profile-driven tuning): a cheap
 // structural profile of a matrix (or a row band of one) feeds a
 // calibrated bandwidth model that predicts each storage format's SpMV
@@ -19,22 +21,22 @@ type Profile struct {
 	// MaxRowLen and MeanRowLen describe the row-length distribution;
 	// RowLenVar is its variance. ELL pads every row to MaxRowLen, so the
 	// gap between max and mean is ELL's waste.
-	MaxRowLen   int64
-	MeanRowLen  float64
-	RowLenVar   float64
-	MaxColLen   int64 // longest column (ELL' pads columns to this)
+	MaxRowLen  int64
+	MeanRowLen float64
+	RowLenVar  float64
+	MaxColLen  int64 // longest column (ELL' pads columns to this)
 	// MinCol and MaxCol bound the columns the band touches (valid when
 	// NNZ > 0): the x traffic of a narrow band is this span, not Cols.
 	MinCol, MaxCol int64
 	EmptyRows      int64 // rows with no stored entries
-	Blocks2x2   int64 // distinct occupied 2×2 blocks (BCSR/BCSC fill unit)
-	DiagFilled  int64 // entries with col == row
-	Density     float64
-	BlockWaste  float64 // padding ratio of 2×2 blocking: 4·Blocks2x2/NNZ
-	RowLenSkew  float64 // MaxRowLen / max(MeanRowLen, 1)
-	DiagFill    float64 // NNZ / (Diags·min(Rows,Cols)): occupancy of DIA storage
-	ColLenSkew  float64 // MaxColLen · Cols / NNZ
-	DiagCovered float64 // DiagFilled / min(Rows, Cols)
+	Blocks2x2      int64 // distinct occupied 2×2 blocks (BCSR/BCSC fill unit)
+	DiagFilled     int64 // entries with col == row
+	Density        float64
+	BlockWaste     float64 // padding ratio of 2×2 blocking: 4·Blocks2x2/NNZ
+	RowLenSkew     float64 // MaxRowLen / max(MeanRowLen, 1)
+	DiagFill       float64 // NNZ / (Diags·min(Rows,Cols)): occupancy of DIA storage
+	ColLenSkew     float64 // MaxColLen · Cols / NNZ
+	DiagCovered    float64 // DiagFilled / min(Rows, Cols)
 }
 
 // ProfileCSR profiles the whole matrix.
@@ -231,7 +233,10 @@ func formatFootprint(p Profile, format string) float64 {
 	case "BCSC":
 		return 8*5*float64(p.Blocks2x2) + 8*float64(p.Cols/2+1) + vec
 	}
-	panic("sparse: unknown format " + format)
+	// An unknown name predicts an infinite footprint, so cost ranking
+	// never selects it; a hard panic here turned a bad candidate string
+	// (mmsolve's -format path reached this) into a crash.
+	return math.Inf(1)
 }
 
 // autoCandidates is the tuner's candidate set: the row-order formats

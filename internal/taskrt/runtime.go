@@ -372,11 +372,20 @@ type Runtime struct {
 	atScratch *activeTrace // recycled activeTrace (one scope at a time)
 	atEpoch   int64        // bumped per BeginTrace; disambiguates reuse
 	errs      []error      // permanent task failures, in completion order
-	rec       *obs.Recorder
-	phase     string
-	retry     RetryPolicy
-	injector  *fault.Injector
-	watchdog  time.Duration
+	// inflight counts tasks between registration and completion, and
+	// failed is the poison ledger for that window: the wrapped poison of
+	// every failure whose effects a concurrently-launching client cannot
+	// have observed yet. A launch wiring onto a dead predecessor consults
+	// the ledger (see finishLocked); the ledger clears when the runtime
+	// quiesces, because a failure the client could have drained is a
+	// handled failure.
+	inflight int64
+	failed   map[int64]error
+	rec      *obs.Recorder
+	phase    string
+	retry    RetryPolicy
+	injector *fault.Injector
+	watchdog time.Duration
 
 	// retain controls graph retention (on by default): when off, launches
 	// skip Node construction entirely — the zero-allocation configuration
@@ -412,6 +421,7 @@ func New() *Runtime {
 		workers: workers,
 		traces:  make(map[string]*traceTmpl),
 		retain:  true,
+		failed:  make(map[int64]error),
 	}
 	rt.tsPool.New = func() any {
 		ts := &taskState{}
@@ -612,6 +622,7 @@ func (rt *Runtime) prepLocked(spec *TaskSpec, ts *taskState) {
 		ts.launch = ts.rec.Now()
 	}
 	rt.tasks[id] = ts
+	rt.inflight++
 	rt.wg.Add(1)
 }
 
@@ -710,13 +721,19 @@ func (rt *Runtime) finishLocked(spec *TaskSpec, ts *taskState) bool {
 		if pred, live := rt.tasks[d]; live {
 			pred.succs = append(pred.succs, ts)
 			ts.pending++
+		} else if perr, ok := rt.failed[d]; ok && ts.poison == nil {
+			// The predecessor completed in failure while this launch was
+			// still in flight — in a batch's unlocked resolve phase, or
+			// racing another goroutine's launch. The client cannot have
+			// observed that failure yet (no Drain happened between the
+			// failure and this launch), so the task must be poisoned, not
+			// run on a garbage region. The ledger clears at quiescence
+			// (inflight == 0 in complete): a failure the client could have
+			// drained is a handled failure (seen via Err and recovered,
+			// e.g. SolveResilient's checkpoint restore), so tasks launched
+			// after that start from a clean slate as before.
+			ts.poison = perr
 		}
-		// A predecessor that already completed needs no wiring — and if
-		// it completed in failure, this task deliberately runs anyway:
-		// poison flows only through tasks in flight. A failure that has
-		// been drained is a handled failure (the client saw it via Err
-		// and recovered, e.g. SolveResilient's checkpoint restore), so
-		// tasks launched afterward start from a clean slate.
 	}
 	ts.wired = true
 	return ts.pending == 0
@@ -969,6 +986,14 @@ func (rt *Runtime) complete(ts *taskState, val float64, err error) {
 				ErrPoisoned, ts.id, ts.name, err)
 		}
 	}
+	if poisonErr != nil {
+		// Remember the failure for launches still in flight: a consumer
+		// registered before this completion but not yet wired (a batch's
+		// unlocked resolve phase, or a concurrent launcher) finds no live
+		// predecessor in rt.tasks and must pick the poison up from this
+		// ledger instead of silently running on a failed region.
+		rt.failed[ts.id] = poisonErr
+	}
 	ready := ts.ready[:0]
 	for _, s := range ts.succs {
 		if poisonErr != nil && s.poison == nil {
@@ -980,6 +1005,13 @@ func (rt *Runtime) complete(ts *taskState, val float64, err error) {
 		}
 	}
 	ts.ready = ready
+	rt.inflight--
+	if rt.inflight == 0 {
+		// Quiescence: every registered task has completed, so any failure
+		// recorded above has been observable via Err. Clear the ledger so
+		// recovery launches (checkpoint restore and the like) start clean.
+		clear(rt.failed)
+	}
 	rt.mu.Unlock()
 
 	for i, s := range ts.ready {

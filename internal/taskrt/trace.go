@@ -131,9 +131,9 @@ type traceTmpl struct {
 
 // Trace modes of an active instance.
 const (
-	trRecord = iota // full analysis; (re)build the fingerprint
-	trCalibrate     // full analysis; validate and capture edges
-	trReplay        // validate and splice memoized edges
+	trRecord    = iota // full analysis; (re)build the fingerprint
+	trCalibrate        // full analysis; validate and capture edges
+	trReplay           // validate and splice memoized edges
 )
 
 // activeTrace is the state of the instance currently between BeginTrace
