@@ -4,12 +4,14 @@
 // numbers land in a machine-readable artifact instead of scrolling away
 // in a CI log:
 //
-//	go run ./cmd/benchlaunch -strict -o BENCH_pr7.json
+//	go run ./cmd/benchlaunch -strict -o BENCH_pr8.json
 //
 // The report carries performance gates (spliced launch under 1 µs with
 // zero allocations, replay faster than analysis, fused CG launching
 // ≥30% fewer tasks than unfused, adaptive format selection within 10%
-// of the best hand-picked format). A violated gate prints a WARNING;
+// of the best hand-picked format, checksummed SpMV within 15% of plain,
+// periodic residual replacement within 5% of the launch budget). A
+// violated gate prints a WARNING;
 // with -strict — the CI default — it fails the run with exit status 1
 // so regressions break the build instead of scrolling away.
 package main
@@ -109,6 +111,32 @@ type autoResult struct {
 	Ratio float64 `json:"ratio"`
 }
 
+// sdcResult is the ABFT cost ledger: the checksummed operator product
+// against the plain one, and the launch cost of one residual
+// replacement amortized over its ReplaceEvery window.
+type sdcResult struct {
+	// PlainSpMVNs/ChecksumSpMVNs are the drained costs of one planner
+	// Matmul sweep on lap2d with SDC detection off and on — the
+	// detection-on sweep verifies the source checksum, cross-checks the
+	// product against the column-checksum vector, and refreshes the
+	// destination checksum.
+	PlainSpMVNs    float64 `json:"plain_spmv_ns"`
+	ChecksumSpMVNs float64 `json:"checksum_spmv_ns"`
+	// SpMVOverhead is checksum/plain; the gate requires ≤ 1.15.
+	SpMVOverhead float64 `json:"spmv_overhead"`
+	// CGLaunchesPerIter and ReplaceLaunches are deterministic task
+	// counts: one steady-state fused CG iteration, and one forced
+	// ReplaceResidual (true-residual recompute, batched drift reduction,
+	// rebase of r and the search direction).
+	CGLaunchesPerIter float64 `json:"cg_launches_per_iter"`
+	ReplaceLaunches   float64 `json:"replace_launches"`
+	ReplaceEvery      int     `json:"replace_every"`
+	// ReplaceOverhead is ReplaceLaunches/(ReplaceEvery ×
+	// CGLaunchesPerIter): the fraction of the launch budget a periodic
+	// replacement policy adds. The gate requires ≤ 0.05.
+	ReplaceOverhead float64 `json:"replace_overhead"`
+}
+
 type report struct {
 	RuntimeLaunch map[string]launchResult `json:"runtime_launch"`
 	LaunchHotPath hotPathResult           `json:"launch_hot_path"`
@@ -122,6 +150,8 @@ type report struct {
 	// ReductionsPerIter is the communication-avoidance ledger: global
 	// reductions per iteration for the CG family.
 	ReductionsPerIter map[string]reductionResult `json:"reductions_per_iter"`
+	// SDCOverhead prices the silent-data-corruption defenses.
+	SDCOverhead sdcResult `json:"sdc_overhead"`
 }
 
 // solverPlanner builds a real (non-virtual) planner on lap2d:64x64 and
@@ -529,8 +559,73 @@ func measureFormatAuto() map[string]autoResult {
 	return out
 }
 
+// measureSDCOverhead prices the SDC defenses: the checksummed Matmul
+// sweep against the plain one (timed best-of-batches, replay on for
+// both, like spmvNs), and the deterministic launch count of one forced
+// residual replacement against the steady-state CG launch rate.
+func measureSDCOverhead() sdcResult {
+	matmulNs := func(detect bool) float64 {
+		a := sparse.Laplacian2D(128, 128)
+		n := a.Domain().Size()
+		p := core.NewPlanner(core.Config{Machine: machine.Lassen(1)})
+		si := p.AddSolVector(make([]float64, n), index.EqualPartition(index.NewSpace("D", n), 4))
+		ri := p.AddRHSVector(make([]float64, n), index.EqualPartition(index.NewSpace("R", n), 4))
+		p.AddOperator(a, si, ri)
+		p.Finalize()
+		p.SetTracing(true)
+		if detect {
+			p.EnableSDCDetection(0)
+		}
+		src := p.AllocateWorkspace(core.SolShape)
+		dst := p.AllocateWorkspace(core.RhsShape)
+		for i := 0; i < 10; i++ { // trace record + calibrate
+			p.Matmul(dst, src)
+		}
+		p.Drain()
+		best := 0.0
+		for r := 0; r < 7; r++ {
+			const batch = 50
+			start := time.Now()
+			for i := 0; i < batch; i++ {
+				p.Matmul(dst, src)
+			}
+			p.Drain()
+			ns := float64(time.Since(start).Nanoseconds()) / batch
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	res := sdcResult{
+		PlainSpMVNs:    matmulNs(false),
+		ChecksumSpMVNs: matmulNs(true),
+		ReplaceEvery:   50,
+	}
+	res.SpMVOverhead = res.ChecksumSpMVNs / res.PlainSpMVNs
+
+	p, s := cgPlanner(true)
+	for i := 0; i < 3; i++ {
+		s.Step()
+	}
+	p.Drain()
+	const window = 50
+	before := p.Runtime().Stats().Launched
+	for i := 0; i < window; i++ {
+		s.Step()
+	}
+	p.Drain()
+	res.CGLaunchesPerIter = float64(p.Runtime().Stats().Launched-before) / window
+	before = p.Runtime().Stats().Launched
+	s.(solvers.ResidualReplacer).ReplaceResidual(0)
+	p.Drain()
+	res.ReplaceLaunches = float64(p.Runtime().Stats().Launched - before)
+	res.ReplaceOverhead = res.ReplaceLaunches / (float64(res.ReplaceEvery) * res.CGLaunchesPerIter)
+	return res
+}
+
 func main() {
-	out := flag.String("o", "BENCH_pr7.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_pr8.json", "output file ('-' for stdout)")
 	strict := flag.Bool("strict", false, "exit non-zero when a performance gate fails (CI sets this)")
 	flag.Parse()
 
@@ -544,6 +639,7 @@ func main() {
 		SolverFusion:      measureSolverFusion(),
 		FormatAuto:        measureFormatAuto(),
 		ReductionsPerIter: measureReductionLedger(),
+		SDCOverhead:       measureSDCOverhead(),
 	}
 
 	var failures []string
@@ -584,6 +680,13 @@ func main() {
 		gate(rr.ReductionsPerIter == want,
 			"%s performs %.3g reductions/iteration, gate == %.3g", name, rr.ReductionsPerIter, want)
 	}
+	sdc := rep.SDCOverhead
+	gate(sdc.SpMVOverhead <= 1.15,
+		"checksummed SpMV %.2fx plain (%.0f vs %.0f ns), gate <= 1.15x",
+		sdc.SpMVOverhead, sdc.ChecksumSpMVNs, sdc.PlainSpMVNs)
+	gate(sdc.ReplaceOverhead <= 0.05,
+		"residual replacement adds %.1f%% launches/iter at ReplaceEvery=%d, gate <= 5%%",
+		sdc.ReplaceOverhead*100, sdc.ReplaceEvery)
 	for _, msg := range failures {
 		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: %s\n", msg)
 	}

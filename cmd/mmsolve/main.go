@@ -17,11 +17,22 @@
 // Chrome trace (load it in Perfetto or chrome://tracing).
 //
 // Fault tolerance (chaos runs): -faults injects a deterministic fault
-// plan (e.g. -faults "panic=0.01,seed=1"), -retries enables bounded
-// re-execution of idempotent tasks, -watchdog flags stragglers, and
-// -checkpoint-every N switches to the resilient driver, which checkpoints
-// the solution every N iterations and rolls back on failure, corruption,
-// or divergence (-max-restarts bounds the rollbacks).
+// plan (e.g. -faults "panic=0.01,seed=1" or "bitflip=0.001,bit=52"),
+// -retries enables bounded re-execution of idempotent tasks, -watchdog
+// flags stragglers, and -checkpoint-every N switches to the resilient
+// driver, which checkpoints the solution every N iterations and rolls
+// back on failure, corruption, or divergence (-max-restarts bounds the
+// rollbacks).
+//
+// Silent data corruption: -detect-sdc turns on checksummed kernels
+// (ABFT) that alarm on corrupted vector pieces; with the resilient
+// driver the alarms drive selective piece restore plus residual
+// replacement. -replace-every N rebases the recurrence residual on the
+// recomputed b − A·x every N iterations when its drift exceeds
+// -drift-tol (resilient driver only). The report always prints the
+// host-side true residual next to the recurrence residual, and
+// -strict-residual exits non-zero when a solver claims convergence the
+// true residual does not back up.
 //
 // Exit status: 0 on a converged solve (including one that recovered from
 // injected or real task failures), 1 on non-convergence, breakdown, or
@@ -65,6 +76,10 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the solution every N iterations and roll back on failure (0 disables the resilient driver)")
 	maxRestarts := flag.Int("max-restarts", 3, "checkpoint rollback budget for the resilient driver")
 	watchdog := flag.Duration("watchdog", 0, "flag tasks running past this wall-clock budget as stragglers (0 disables)")
+	detectSDC := flag.Bool("detect-sdc", false, "enable ABFT checksummed kernels; with the resilient driver, recover from alarms by piece restore + residual replacement")
+	replaceEvery := flag.Int("replace-every", 0, "rebase the recurrence residual on the recomputed b - A·x every N iterations (resilient driver only, 0 disables)")
+	driftTol := flag.Float64("drift-tol", 0, "relative drift threshold for periodic residual replacement (<= 0 replaces unconditionally)")
+	strictRes := flag.Bool("strict-residual", false, "exit non-zero when the solver claims convergence but the true residual misses the tolerance")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mmsolve [flags] matrix.mtx")
@@ -157,6 +172,11 @@ func main() {
 	}
 
 	resilient := *ckptEvery > 0
+	if *detectSDC && !resilient {
+		// Detection without the resilient driver: observe-only. The driver
+		// enables it itself (and recovers) on the resilient path.
+		p.EnableSDCDetection(0)
+	}
 	start := time.Now()
 	var res solvers.Result
 	var rres solvers.ResilientResult
@@ -170,6 +190,7 @@ func main() {
 		}, solvers.ResilientConfig{
 			Tol: *tol, MaxIter: *maxIter,
 			CheckpointEvery: *ckptEvery, MaxRestarts: mr,
+			DetectSDC: *detectSDC, ReplaceEvery: *replaceEvery, DriftTol: *driftTol,
 			Log: func(format string, args ...any) {
 				fmt.Printf(format+"\n", args...)
 			},
@@ -181,6 +202,12 @@ func main() {
 	}
 	p.Drain()
 	elapsed := time.Since(start)
+
+	// The honest yardstick for everything below: ‖b − A·x‖ recomputed
+	// host-side from the raw matrix and arrays, sharing no code with the
+	// solve (so neither a drifted recurrence nor corrupted planner state
+	// can flatter it).
+	trueRes := hostResidual(a, x, b)
 
 	st := rt.Stats()
 	if *trace {
@@ -200,6 +227,16 @@ func main() {
 		fmt.Printf("resilience: %d checkpoint(s), %d restart(s), %d permanent failure(s) absorbed\n",
 			rres.Checkpoints, rres.Restarts, rres.RecoveredFailures)
 	}
+	if *detectSDC {
+		if mon := p.SDCMonitor(); mon != nil {
+			fmt.Printf("sdc: %d checksum alarm(s)", mon.Count())
+			if resilient {
+				fmt.Printf("; %d piece restore(s), %d residual replacement(s), max drift %.3g",
+					rres.PieceRestores, rres.Replacements, rres.MaxDrift)
+			}
+			fmt.Println()
+		}
+	}
 
 	// A converged resilient solve has, by construction, verified the true
 	// residual after recovery, so recovered task failures do not fail the
@@ -213,8 +250,8 @@ func main() {
 	}
 
 	fmt.Printf("solver: %s\n", *solverName)
-	fmt.Printf("converged: %v in %d iterations, residual %.3g\n",
-		res.Converged, res.Iterations, res.Residual)
+	fmt.Printf("converged: %v in %d iterations, residual %.3g, true residual %.3g\n",
+		res.Converged, res.Iterations, res.Residual, trueRes)
 	fmt.Printf("wall time: %v (%.3g s/iteration)\n",
 		elapsed, elapsed.Seconds()/math.Max(1, float64(res.Iterations)))
 	if *rhs == "Aones" && res.Converged && !failed {
@@ -243,9 +280,30 @@ func main() {
 	if res.Breakdown != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", res.Breakdown)
 	}
+	// Strict mode: a convergence claim the true residual does not back up
+	// (a drifted recurrence, or silent corruption the run never detected)
+	// is a failure, not a success with a footnote. The 5% slack absorbs
+	// the recompute's own rounding against the solver's stopping test.
+	if *strictRes && res.Converged && trueRes > *tol*1.05 {
+		fmt.Fprintf(os.Stderr, "mmsolve: convergence claim not backed by true residual %.3g (tol %.3g)\n",
+			trueRes, *tol)
+		failed = true
+	}
 	if failed || !res.Converged {
 		os.Exit(1)
 	}
+}
+
+// hostResidual is ‖b − A·x‖ computed directly from the raw arrays.
+func hostResidual(a sparse.Matrix, x, b []float64) float64 {
+	ax := make([]float64, len(b))
+	sparse.SpMV(a, ax, x)
+	var rr float64
+	for i := range b {
+		d := b[i] - ax[i]
+		rr += d * d
+	}
+	return math.Sqrt(rr)
 }
 
 // loadMatrix reads a Matrix Market file, or generates a 5-point 2D

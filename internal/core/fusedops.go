@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"kdrsolvers/internal/index"
 	"kdrsolvers/internal/region"
@@ -27,6 +28,14 @@ import (
 // Fused tasks launch through the ordinary Launch path with ordinary
 // region references, so they are traced, memoized, and replayed by the
 // runtime's trace templates like any other task.
+//
+// With SDC detection on, each piece task first verifies the incoming
+// checksum of every vector it will update or reduce over (one extra read
+// pass per distinct vector), then maintains the dst checksums through the
+// update recurrences, and finally writes a per-piece guard slot — the sum
+// of the piece's dot partials — that the combine task recomputes
+// bitwise-identically, so corruption anywhere in a solver's working set
+// or reduction scratch surfaces within one iteration.
 
 // UpdateKind selects the recurrence form of one fused vector update.
 type UpdateKind int
@@ -87,6 +96,36 @@ func (p *Planner) XpayDot(dst VecID, alpha *Scalar, src, v, w VecID) *Scalar {
 		[]DotPair{{V: v, W: w}})[0]
 }
 
+// sweepVecs classifies the distinct vectors of a sweep: verified vectors
+// (update dsts and dot operands — their incoming checksums are checked
+// before any update runs) and pure sources (checksums only read for
+// recurrence maintenance).
+func sweepVecs(ups []VecUpdate, dots []DotPair) (verified []VecID, pureSrc []VecID) {
+	inVerified := make(map[VecID]bool)
+	for _, u := range ups {
+		if !inVerified[u.Dst] {
+			inVerified[u.Dst] = true
+			verified = append(verified, u.Dst)
+		}
+	}
+	for _, d := range dots {
+		for _, id := range []VecID{d.V, d.W} {
+			if !inVerified[id] {
+				inVerified[id] = true
+				verified = append(verified, id)
+			}
+		}
+	}
+	seenSrc := make(map[VecID]bool)
+	for _, u := range ups {
+		if !inVerified[u.Src] && !seenSrc[u.Src] {
+			seenSrc[u.Src] = true
+			pureSrc = append(pureSrc, u.Src)
+		}
+	}
+	return verified, pureSrc
+}
+
 // FusedSweep is the general fused kernel: it applies the updates in
 // order and then computes the dot pairs over the updated values, one
 // task per piece, followed by a single combine task when dots are
@@ -103,17 +142,23 @@ func (p *Planner) FusedSweep(ups []VecUpdate, dots []DotPair) []*Scalar {
 	}
 	anchor := p.sweepAnchor(ups, dots)
 	comps := p.comps(p.vecs[anchor].shape)
+	sdc, hooks := p.sdcOn(), p.faultHooks()
 
 	// One scratch slot per (piece, dot), piece-major, so each partial
-	// task writes one contiguous span.
+	// task writes one contiguous span. With detection on each piece gets
+	// one extra guard slot holding the sum of its partials.
 	k := len(dots)
+	stride := k
+	if sdc && k > 0 {
+		stride = k + 1
+	}
 	total := 0
 	for _, c := range comps {
 		total += c.part.NumColors()
 	}
 	var scratch *region.Region
 	if k > 0 {
-		space := index.NewSpace("dotscratch", int64(total*k))
+		space := index.NewSpace("dotscratch", int64(total*stride))
 		if p.virtual {
 			scratch = region.NewVirtual("dotscratch", space)
 		} else {
@@ -121,20 +166,34 @@ func (p *Planner) FusedSweep(ups []VecUpdate, dots []DotPair) []*Scalar {
 		}
 	}
 
+	var verified, pureSrc []VecID
+	if sdc {
+		verified, pureSrc = sweepVecs(ups, dots)
+	}
+
 	piece := 0
 	eachPiece(comps, func(ci, color int, subset index.IntervalSet, proc int) {
-		base := int64(piece * k)
+		mySlot := piece
+		base := int64(piece * stride)
 		piece++
 		refs, cost := p.sweepRefs(ci, subset, ups, dots)
 		if k > 0 {
 			refs = append(refs, region.Ref{
 				Region: scratch.ID(), Field: "s",
-				Subset: index.Span(base, base+int64(k)-1), Priv: region.WriteDiscard,
+				Subset: index.Span(base, base+int64(stride)-1), Priv: region.WriteDiscard,
 			})
+		}
+		if sdc {
+			for _, id := range verified {
+				refs = append(refs, p.chkRef(id, mySlot, region.ReadWrite))
+			}
+			for _, id := range pureSrc {
+				refs = append(refs, p.chkRef(id, mySlot, region.ReadOnly))
+			}
 		}
 		var run func() float64
 		if !p.virtual {
-			run = p.sweepBody(ci, subset, base, scratch, ups, dots)
+			run = p.sweepBody(ci, mySlot, subset, base, scratch, ups, dots, verified)
 		}
 		name := "fused.update"
 		if len(ups) == 0 {
@@ -142,20 +201,36 @@ func (p *Planner) FusedSweep(ups []VecUpdate, dots []DotPair) []*Scalar {
 		} else if k > 0 {
 			name = "fused.updatedot"
 		}
-		p.batch(taskrt.TaskSpec{
-			Name: name, Proc: proc, Cost: cost, Refs: refs, Run: run,
+		spec := taskrt.TaskSpec{
+			Name: name, Proc: proc, Piece: mySlot + 1,
+			Cost: cost, Refs: refs, Run: run,
 			// A sweep with updates read-modify-writes its dsts, so a
 			// partial first attempt would double-apply; a pure dot batch
 			// overwrites its scratch slots and is idempotent.
 			Retryable: len(ups) == 0,
-		})
+		}
+		if hooks {
+			var targets []corruptTarget
+			seen := make(map[VecID]bool)
+			for _, u := range ups {
+				if !seen[u.Dst] {
+					seen[u.Dst] = true
+					targets = append(targets, corruptTarget{p.vecs[u.Dst].regs[ci].Field("v"), subset})
+				}
+			}
+			if k > 0 {
+				targets = append(targets, corruptTarget{scratch.Field("s"), index.Span(base, base+int64(stride)-1)})
+			}
+			spec.Corrupt = corruptHook(targets...)
+		}
+		p.batch(spec)
 	})
 	p.flushBatch()
 
 	if k == 0 {
 		return nil
 	}
-	return p.batchReduce(scratch, total, dots)
+	return p.batchReduce(scratch, total, stride, dots)
 }
 
 // sweepAnchor returns the vector whose component structure drives the
@@ -229,16 +304,24 @@ func (p *Planner) sweepRefs(ci int, subset index.IntervalSet, ups []VecUpdate, d
 	return refs, cost
 }
 
-// sweepBody builds the real-mode task body of one piece: the updates in
-// order, then the dot partials into scratch slots base..base+k-1.
-func (p *Planner) sweepBody(ci int, subset index.IntervalSet, base int64,
-	scratch *region.Region, ups []VecUpdate, dots []DotPair) func() float64 {
+// sweepBody builds the real-mode task body of one piece: the checksum
+// verification pre-pass (detection only), the updates in order with
+// checksum maintenance, then the dot partials into scratch slots
+// base..base+k-1 (and the guard slot at base+k when detection is on).
+func (p *Planner) sweepBody(ci, slot int, subset index.IntervalSet, base int64,
+	scratch *region.Region, ups []VecUpdate, dots []DotPair, verified []VecID) func() float64 {
 
 	type boundUpdate struct {
-		kind UpdateKind
-		neg  bool
-		d, s []float64
-		a    []float64
+		kind   UpdateKind
+		neg    bool
+		d, s   []float64
+		a      []float64
+		cd, cs []float64 // checksum slots of dst and src (nil without sdc)
+	}
+	sdc := p.sdcOn()
+	mon, tol := (*SDCMonitor)(nil), 0.0
+	if sdc {
+		mon, tol = p.sdc.mon, p.sdc.tol
 	}
 	bu := make([]boundUpdate, len(ups))
 	for i, u := range ups {
@@ -248,6 +331,19 @@ func (p *Planner) sweepBody(ci int, subset index.IntervalSet, base int64,
 			s: p.vecs[u.Src].regs[ci].Field("v"),
 			a: u.Alpha.reg.Field("s"),
 		}
+		if sdc {
+			bu[i].cd = p.chkData(u.Dst)
+			bu[i].cs = p.chkData(u.Src)
+		}
+	}
+	type boundChk struct {
+		id  VecID
+		d   []float64
+		chk []float64
+	}
+	var bv []boundChk
+	for _, id := range verified {
+		bv = append(bv, boundChk{id: id, d: p.vecs[id].regs[ci].Field("v"), chk: p.chkData(id)})
 	}
 	type boundDot struct{ v, w []float64 }
 	bd := make([]boundDot, len(dots))
@@ -261,7 +357,17 @@ func (p *Planner) sweepBody(ci int, subset index.IntervalSet, base int64,
 	if scratch != nil {
 		out = scratch.Field("s")
 	}
+	guard := sdc && len(dots) > 0
+	k := int64(len(dots))
 	return func() float64 {
+		// Verify every vector this sweep will update or reduce over
+		// against its incoming checksum, before touching anything: a
+		// corruption planted anywhere in a solver's recurrence set since
+		// the last sweep alarms here.
+		for _, c := range bv {
+			sum, abs := sumPiece(c.d, subset)
+			verifySlot(mon, tol, "fused.verify", c.id, slot, c.chk, sum, abs)
+		}
 		for _, u := range bu {
 			av := u.a[0]
 			if u.neg {
@@ -275,15 +381,21 @@ func (p *Planner) sweepBody(ci int, subset index.IntervalSet, base int64,
 						d[i] += av * s[i]
 					}
 				})
+				if u.cd != nil {
+					u.cd[slot] += av * u.cs[slot]
+				}
 			case UpdXpay:
 				subset.EachInterval(func(iv index.Interval) {
 					for i := iv.Lo; i <= iv.Hi; i++ {
 						d[i] = s[i] + av*d[i]
 					}
 				})
+				if u.cd != nil {
+					u.cd[slot] = u.cs[slot] + av*u.cd[slot]
+				}
 			}
 		}
-		var first float64
+		var first, gsum float64
 		for j, d := range bd {
 			var sum float64
 			v, w := d.v, d.w
@@ -293,9 +405,13 @@ func (p *Planner) sweepBody(ci int, subset index.IntervalSet, base int64,
 				}
 			})
 			out[base+int64(j)] = sum
+			gsum += sum
 			if j == 0 {
 				first = sum
 			}
+		}
+		if guard {
+			out[base+k] = gsum
 		}
 		return first
 	}
@@ -305,14 +421,22 @@ func (p *Planner) sweepBody(ci int, subset index.IntervalSet, base int64,
 // it folds every dot's per-piece partials (in piece order, matching
 // Dot's reduce) and writes all k output scalars, paying one allreduce
 // instead of k. The returned scalars share the combine task's future;
-// each reads its own value from its backing region.
-func (p *Planner) batchReduce(scratch *region.Region, pieces int, dots []DotPair) []*Scalar {
+// each reads its own value from its backing region. With detection on it
+// first recomputes each piece's guard sum — partials were written and
+// summed in the same order, so any corruption of the reduction scratch
+// makes the bitwise comparison fail.
+func (p *Planner) batchReduce(scratch *region.Region, pieces, stride int, dots []DotPair) []*Scalar {
 	k := len(dots)
+	guard := stride > k
+	var mon *SDCMonitor
+	if guard {
+		mon = p.sdc.mon
+	}
 	outs := make([]*Scalar, k)
 	refs := make([]region.Ref, 0, k+1)
 	refs = append(refs, region.Ref{
 		Region: scratch.ID(), Field: "s",
-		Subset: index.Span(0, int64(pieces*k)-1), Priv: region.ReadOnly,
+		Subset: index.Span(0, int64(pieces*stride)-1), Priv: region.ReadOnly,
 	})
 	for j := range outs {
 		outs[j] = p.newScalar("dot", 0)
@@ -326,11 +450,25 @@ func (p *Planner) batchReduce(scratch *region.Region, pieces int, dots []DotPair
 			dsts[j] = s.reg.Field("s")
 		}
 		run = func() float64 {
+			if guard {
+				for pc := 0; pc < pieces; pc++ {
+					var g float64
+					for j := 0; j < k; j++ {
+						g += in[pc*stride+j]
+					}
+					if got := in[pc*stride+k]; got != g || math.IsNaN(g) {
+						mon.report(SDCAlarm{
+							Task: "dot.batchreduce", Vec: -1, Slot: pc,
+							Expected: got, Got: g, Scale: math.Abs(g),
+						})
+					}
+				}
+			}
 			var first float64
 			for j := 0; j < k; j++ {
 				var sum float64
 				for pc := 0; pc < pieces; pc++ {
-					sum += in[pc*k+j]
+					sum += in[pc*stride+j]
 				}
 				dsts[j][0] = sum
 				if j == 0 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"kdrsolvers/internal/index"
 	"kdrsolvers/internal/region"
 	"kdrsolvers/internal/taskrt"
@@ -16,24 +18,30 @@ import (
 // overlaps. Output pieces no operator touches are zeroed explicitly
 // (the empty sum of equation 8).
 //
+// With SDC detection on this is the checksummed SpMV: each forward
+// multiply-add also evaluates its precomputed column-checksum prediction
+// w·x, compares it against the contribution it actually wrote (the ABFT
+// invariant Σ(A x)|piece = (Aᵀ1)·x), and maintains the dst piece
+// checksums. Adjoint and preconditioner products maintain the checksums
+// from their computed output without the independent w·x cross-check.
+// Source-halo pieces are not re-verified here — solver sources are
+// recurrence vectors whose checksums the fused sweeps verify each
+// iteration.
+//
 // dst must be range-shaped-compatible and src domain-shaped-compatible
 // with the system (interchangeable for square systems).
 func (p *Planner) Matmul(dst, src VecID) {
 	p.mustBeFinalized()
-	dv := p.vecs[dst]
-	sv := p.vecs[src]
-	p.checkMatmulShapes(dv, sv)
-	p.runMultiOp(p.ops, dv, sv, false, false)
+	p.checkMatmulShapes(p.vecs[dst], p.vecs[src])
+	p.runMultiOp(p.ops, dst, src, false, false)
 }
 
 // MatmulT computes dst ← A_totalᵀ · src: the adjoint product, partitioned
 // by the domain components' canonical partitions.
 func (p *Planner) MatmulT(dst, src VecID) {
 	p.mustBeFinalized()
-	dv := p.vecs[dst]
-	sv := p.vecs[src]
-	p.checkMatmulTShapes(dv, sv)
-	p.runMultiOp(p.ops, dv, sv, true, false)
+	p.checkMatmulTShapes(p.vecs[dst], p.vecs[src])
+	p.runMultiOp(p.ops, dst, src, true, false)
 }
 
 // PSolve computes dst ← P_total · src, applying the user-supplied
@@ -43,9 +51,7 @@ func (p *Planner) PSolve(dst, src VecID) {
 	if !p.HasPreconditioner() {
 		panic("core: PSolve without a preconditioner")
 	}
-	dv := p.vecs[dst]
-	sv := p.vecs[src]
-	p.runMultiOp(p.pre, dv, sv, false, true)
+	p.runMultiOp(p.pre, dst, src, false, true)
 }
 
 // opTarget describes where one operator writes and reads for a forward or
@@ -67,16 +73,24 @@ func opTarget(op *opEntry, adjoint, pre bool) (outIdx, inIdx int, kpart, inHalo,
 // it inline (write-discard when its whole write set is fresh), and points
 // no operator writes get explicit zero tasks (the empty sum of
 // equation 8).
-func (p *Planner) runMultiOp(ops []opEntry, dv, sv vec, adjoint, pre bool) {
+func (p *Planner) runMultiOp(ops []opEntry, dst, src VecID, adjoint, pre bool) {
+	dv, sv := p.vecs[dst], p.vecs[src]
 	outComps := p.rhs
 	if adjoint || pre {
 		outComps = p.sol
 	}
 	// covered[comp][color] accumulates the points already written in this
-	// product.
+	// product; wrote tracks whether any task (checksum-wise, the slot
+	// writer) reached the piece yet.
 	covered := make([][]index.IntervalSet, len(outComps))
+	wrote := make([][]bool, len(outComps))
+	compOff := make([]int, len(outComps))
+	off := 0
 	for i, c := range outComps {
 		covered[i] = make([]index.IntervalSet, c.part.NumColors())
+		wrote[i] = make([]bool, c.part.NumColors())
+		compOff[i] = off
+		off += c.part.NumColors()
 	}
 	name := "matmul"
 	if adjoint {
@@ -84,6 +98,7 @@ func (p *Planner) runMultiOp(ops []opEntry, dv, sv vec, adjoint, pre bool) {
 	} else if pre {
 		name = "psolve"
 	}
+	sdc := p.sdcOn()
 	for oi := range ops {
 		op := &ops[oi]
 		outIdx, inIdx, kpart, inHalo, outImage := opTarget(op, adjoint, pre)
@@ -97,8 +112,16 @@ func (p *Planner) runMultiOp(ops []opEntry, dv, sv vec, adjoint, pre bool) {
 			}
 			fresh := outSet.Subtract(covered[outIdx][color])
 			covered[outIdx][color] = covered[outIdx][color].Union(outSet)
+			var cc *colCheck
+			if sdc && !adjoint && !pre {
+				if cols := p.sdc.colchk[oi]; color < len(cols) && cols[color].idx != nil {
+					cc = &cols[color]
+				}
+			}
 			p.launchMultiplyAdd(name, oi, color, op, outReg, inReg,
-				outComp, kset, inHalo.Piece(color), outSet, fresh, adjoint, pre)
+				outComp, kset, inHalo.Piece(color), outSet, fresh, adjoint, pre,
+				dst, compOff[outIdx]+color, !wrote[outIdx][color], cc)
+			wrote[outIdx][color] = true
 		}
 	}
 	// Zero whatever no operator wrote.
@@ -106,7 +129,9 @@ func (p *Planner) runMultiOp(ops []opEntry, dv, sv vec, adjoint, pre bool) {
 		for color := 0; color < c.part.NumColors(); color++ {
 			rest := c.part.Piece(color).Subtract(covered[ci][color])
 			if !rest.Empty() {
-				p.zeroPiece(dv.regs[ci], rest, c.procs[color])
+				p.zeroPiece(dv.regs[ci], rest, c.procs[color],
+					dst, compOff[ci]+color, !wrote[ci][color])
+				wrote[ci][color] = true
 			}
 		}
 	}
@@ -120,10 +145,13 @@ func (p *Planner) runMultiOp(ops []opEntry, dv, sv vec, adjoint, pre bool) {
 // it no earlier operator wrote, which the task zeroes inline before
 // accumulating. A fully fresh write set takes write-discard privilege;
 // any overlap with earlier writers takes reduction privilege, which the
-// runtime orders.
+// runtime orders. first marks the checksum-slot initializer of the piece
+// in this product; cc, when non-nil, is the forward product's
+// column-checksum vector for the ABFT cross-check.
 func (p *Planner) launchMultiplyAdd(name string, opIdx, color int, op *opEntry,
 	outReg, inReg *region.Region, outComp component,
-	kset, inSet, outSet, fresh index.IntervalSet, adjoint, pre bool) {
+	kset, inSet, outSet, fresh index.IntervalSet, adjoint, pre bool,
+	dst VecID, slot int, first bool, cc *colCheck) {
 
 	proc := outComp.procs[color]
 	if !pre && p.mmProc != nil {
@@ -135,13 +163,28 @@ func (p *Planner) launchMultiplyAdd(name string, opIdx, color int, op *opEntry,
 	if fresh.Equal(outSet) {
 		priv = region.WriteDiscard
 	}
+	sdc, hooks := p.sdcOn(), p.faultHooks()
+	var chk []float64
+	var mon *SDCMonitor
+	var tol float64
+	if sdc {
+		chk = p.chkData(dst)
+		mon, tol = p.sdc.mon, p.sdc.tol
+	}
 	var run func() float64
 	if !p.virtual {
 		y := outReg.Field("v")
 		x := inReg.Field("v")
 		mat := op.mat
-		ks, fr := kset, fresh
+		ks, fr, os := kset, fresh, outSet
+		wd := priv == region.WriteDiscard
 		run = func() float64 {
+			var before float64
+			if sdc && !wd {
+				// A reduction task folds into earlier writers' data; its own
+				// contribution is the sum delta over its write set.
+				before, _ = sumPiece(y, os)
+			}
 			fr.EachInterval(func(iv index.Interval) {
 				for i := iv.Lo; i <= iv.Hi; i++ {
 					y[i] = 0
@@ -152,11 +195,36 @@ func (p *Planner) launchMultiplyAdd(name string, opIdx, color int, op *opEntry,
 			} else {
 				mat.MultiplyAddPart(y, x, ks)
 			}
+			if sdc {
+				after, abs := sumPiece(y, os)
+				contrib := after - before
+				if cc != nil {
+					// The checksummed SpMV invariant: the contribution this
+					// task wrote must match the column-checksum prediction
+					// w·x computed from independent data.
+					var wx float64
+					for t, j := range cc.idx {
+						wx += cc.val[t] * x[j]
+					}
+					scale := abs + math.Abs(wx) + 1
+					if diff := math.Abs(wx - contrib); diff > tol*scale || diff != diff {
+						mon.report(SDCAlarm{
+							Task: "matmul.abft", Vec: dst, Slot: slot,
+							Expected: wx, Got: contrib, Scale: scale,
+						})
+					}
+				}
+				if first {
+					chk[slot] = contrib
+				} else {
+					chk[slot] += contrib
+				}
+			}
 			return 0
 		}
 	}
-	p.batch(taskrt.TaskSpec{
-		Name: name, Proc: proc,
+	spec := taskrt.TaskSpec{
+		Name: name, Proc: proc, Piece: slot + 1,
 		Cost: p.mach.SpMVCost(kset.Size(), outSet.Size()),
 		Refs: []region.Ref{
 			pieceRef(outReg, outSet, priv),
@@ -165,13 +233,34 @@ func (p *Planner) launchMultiplyAdd(name string, opIdx, color int, op *opEntry,
 		Run: run,
 		// A write-discard multiply-add zeroes its whole write set before
 		// accumulating, so re-execution is safe; a reduction into data
-		// earlier operators wrote is not.
-		Retryable: priv == region.WriteDiscard,
-	})
+		// earlier operators wrote is not, and neither is a checksum-slot
+		// accumulation (chk[slot] += contrib would double-apply).
+		Retryable: priv == region.WriteDiscard && (!sdc || first),
+	}
+	if sdc {
+		chkPriv := region.ReadWrite
+		if first {
+			chkPriv = region.WriteDiscard
+		}
+		spec.Refs = append(spec.Refs, p.chkRef(dst, slot, chkPriv))
+	}
+	if hooks {
+		spec.Corrupt = corruptHook(corruptTarget{outReg.Field("v"), outSet})
+	}
+	p.batch(spec)
 }
 
-// zeroPiece launches a zero-fill of one piece.
-func (p *Planner) zeroPiece(reg *region.Region, subset index.IntervalSet, proc int) {
+// zeroPiece launches a zero-fill of one piece (or the remainder of one).
+// When it is the piece's first checksum writer in a product — no operator
+// touched the piece at all — it also zeroes the checksum slot.
+func (p *Planner) zeroPiece(reg *region.Region, subset index.IntervalSet, proc int,
+	dst VecID, slot int, first bool) {
+
+	sdc, hooks := p.sdcOn(), p.faultHooks()
+	var chk []float64
+	if sdc {
+		chk = p.chkData(dst)
+	}
 	var run func() float64
 	if !p.virtual {
 		d := reg.Field("v")
@@ -181,15 +270,25 @@ func (p *Planner) zeroPiece(reg *region.Region, subset index.IntervalSet, proc i
 					d[i] = 0
 				}
 			})
+			if sdc && first {
+				chk[slot] = 0
+			}
 			return 0
 		}
 	}
-	p.batch(taskrt.TaskSpec{
-		Name: "zero", Proc: proc,
+	spec := taskrt.TaskSpec{
+		Name: "zero", Proc: proc, Piece: slot + 1,
 		Cost: p.mach.Blas1Cost(subset.Size()),
 		Refs: []region.Ref{pieceRef(reg, subset, region.WriteDiscard)},
 		Run:  run, Retryable: true,
-	})
+	}
+	if sdc && first {
+		spec.Refs = append(spec.Refs, p.chkRef(dst, slot, region.WriteDiscard))
+	}
+	if hooks {
+		spec.Corrupt = corruptHook(corruptTarget{reg.Field("v"), subset})
+	}
+	p.batch(spec)
 }
 
 // checkMatmulShapes panics unless dst matches the range components and

@@ -115,6 +115,10 @@ type Planner struct {
 	// operations; Planner methods are single-goroutine, so no launch can
 	// interleave with an open batch.
 	specBuf []taskrt.TaskSpec
+
+	// sdc holds the checksummed-kernel state when EnableSDCDetection has
+	// been called; nil means every kernel runs its plain form.
+	sdc *sdcState
 }
 
 // NewPlanner returns an empty planner running on a fresh task runtime.
@@ -431,7 +435,11 @@ func (p *Planner) AllocateWorkspace(shape Shape) VecID {
 		}
 	}
 	p.vecs = append(p.vecs, v)
-	return VecID(len(p.vecs) - 1)
+	id := VecID(len(p.vecs) - 1)
+	if p.sdcOn() {
+		p.sdcAddVec(id)
+	}
+	return id
 }
 
 // comps returns the component list for a shape.
@@ -494,6 +502,9 @@ func (p *Planner) RestoreSol(ckpt [][]float64) {
 			panic("core: checkpoint component size mismatch")
 		}
 		copy(dst, ckpt[i])
+	}
+	if p.sdcOn() {
+		p.seedChecksum(SOL)
 	}
 }
 

@@ -182,16 +182,33 @@ func (pl *PowersPlan) Sweep(dsts []VecID, src VecID, shifts []float64) {
 			}
 		}
 
+		if p.sdcOn() {
+			// The sweep fully recomputes each dst piece, so each dst's
+			// checksum slot is refreshed from the computed output.
+			for _, d := range dsts {
+				refs = append(refs, p.chkRef(d, pc.color, region.WriteDiscard))
+			}
+		}
+
 		var run func() float64
 		if !p.virtual {
 			run = pl.sweepBody(pc, offset, levels, src, dsts, shifts)
 		}
-		p.batch(taskrt.TaskSpec{
-			Name: "powers.sweep", Proc: pc.proc, Cost: cost, Refs: refs,
+		spec := taskrt.TaskSpec{
+			Name: "powers.sweep", Proc: pc.proc, Piece: pc.color + 1,
+			Cost: cost, Refs: refs,
 			// The body zeroes every row before accumulating and writes only
 			// scratch and write-discard outputs: idempotent, so retryable.
 			Run: run, Retryable: true,
-		})
+		}
+		if p.faultHooks() {
+			targets := make([]corruptTarget, 0, levels)
+			for _, d := range dsts {
+				targets = append(targets, corruptTarget{p.vecs[d].regs[0].Field("v"), pc.piece})
+			}
+			spec.Corrupt = corruptHook(targets...)
+		}
+		p.batch(spec)
 	}
 	p.flushBatch()
 }
@@ -222,6 +239,15 @@ func (pl *PowersPlan) sweepBody(pc *powersPiece, offset, levels int, src VecID, 
 		mats[oi] = p.ops[oi].mat
 	}
 	piece := pc.piece
+	sdc := p.sdcOn()
+	var chks [][]float64
+	if sdc {
+		chks = make([][]float64, levels)
+		for i, d := range dsts {
+			chks[i] = p.chkData(d)
+		}
+	}
+	color := pc.color
 	return func() float64 {
 		cur := srcData
 		for i := 0; i < levels; i++ {
@@ -254,6 +280,12 @@ func (pl *PowersPlan) sweepBody(pc *powersPiece, offset, levels int, src VecID, 
 				})
 			}
 			cur = out
+		}
+		if sdc {
+			for i := range chks {
+				sum, _ := sumPiece(dstData[i], piece)
+				chks[i][color] = sum
+			}
 		}
 		return 0
 	}

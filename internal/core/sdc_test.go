@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kdrsolvers/internal/fault"
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/sparse"
+)
+
+// sdcTestPlanner builds a real single-operator planner over a 2D stencil
+// with detection enabled and two workspaces.
+func sdcTestPlanner(t *testing.T, n int64, pieces int) (p *Planner, mon *SDCMonitor, a, b VecID) {
+	t.Helper()
+	sol := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := range sol {
+		sol[i] = float64(i%13)/7 - 0.5
+		rhs[i] = float64((i*11)%17)/5 + 0.25
+	}
+	p = NewPlanner(Config{Machine: machine.Lassen(2)})
+	si := p.AddSolVector(sol, index.EqualPartition(index.NewSpace("D", n), pieces))
+	ri := p.AddRHSVector(rhs, index.EqualPartition(index.NewSpace("R", n), pieces))
+	p.AddOperator(sparse.Laplacian2D(n/8, 8), si, ri)
+	p.Finalize()
+	mon = p.EnableSDCDetection(0)
+	a = p.AllocateWorkspace(SolShape)
+	b = p.AllocateWorkspace(RhsShape)
+	p.Copy(a, SOL)
+	p.Copy(b, RHS)
+	return p, mon, a, b
+}
+
+// A clean run through every checksummed kernel must raise no alarms:
+// recurrence maintenance plus verify-refresh keeps drift far under the
+// tolerance over many iterations.
+func TestSDCCleanRunNoFalseAlarms(t *testing.T) {
+	const n, pieces = 512, 4
+	p, mon, a, b := sdcTestPlanner(t, n, pieces)
+	alpha := p.Constant(0.01)
+	for it := 0; it < 100; it++ {
+		p.Matmul(b, a)                // checksummed SpMV
+		d := p.Dot(b, b)              // unfused dot verifies operands
+		p.Scal(a, p.Constant(0.999))  // scal maintains + verifies
+		p.Axpy(a, alpha, SOL)         // axpy maintains + verifies both
+		p.Xpay(b, p.Neg(alpha), RHS)  // xpay too
+		p.FusedSweep(                 // fused path with guard slot
+			[]VecUpdate{{Kind: UpdAxpy, Dst: a, Alpha: alpha, Src: SOL}},
+			[]DotPair{{V: a, W: a}, {V: a, W: SOL}})
+		_ = d.Value()
+	}
+	p.LaunchChecksumCheck(SOL, RHS, a, b)
+	p.Drain()
+	if c := mon.Count(); c != 0 {
+		t.Fatalf("clean run raised %d alarms: %v", c, mon.Alarms())
+	}
+}
+
+// A bit flip planted in a vector between operations must alarm at the
+// next consumer, through every detection path: the explicit checksum
+// scan, the fused-sweep pre-update verify, and the unfused kernels.
+func TestSDCPlantedFlipDetected(t *testing.T) {
+	const n, pieces = 256, 4
+	flip := func(p *Planner, id VecID, i int) {
+		p.Drain()
+		d := p.VecData(id, 0)
+		d[i] = fault.FlipBit(d[i], 52) // exponent bit: large perturbation
+	}
+
+	t.Run("vec.checksum", func(t *testing.T) {
+		p, mon, a, _ := sdcTestPlanner(t, n, pieces)
+		flip(p, a, 37)
+		if got := p.VerifyChecksums(a); got != 1 {
+			t.Fatalf("checksum scan raised %d alarms, want 1: %v", got, mon.Alarms())
+		}
+		al := mon.Take()
+		if al[0].Vec != a || al[0].Slot != 0 {
+			t.Errorf("alarm = %+v, want vec %d slot 0", al[0], a)
+		}
+		// The scan refreshed the slot, so a second scan is clean.
+		if got := p.VerifyChecksums(a); got != 0 {
+			t.Errorf("second scan raised %d alarms, want 0", got)
+		}
+	})
+
+	t.Run("fused.verify", func(t *testing.T) {
+		p, mon, a, _ := sdcTestPlanner(t, n, pieces)
+		flip(p, a, n/2+3) // lands in a later piece
+		p.FusedUpdate(VecUpdate{Kind: UpdAxpy, Dst: a, Alpha: p.Constant(0.5), Src: SOL})
+		p.Drain()
+		if c := mon.Count(); c != 1 {
+			t.Fatalf("fused sweep raised %d alarms, want 1: %v", c, mon.Alarms())
+		}
+	})
+
+	t.Run("dot.partial", func(t *testing.T) {
+		p, mon, _, b := sdcTestPlanner(t, n, pieces)
+		flip(p, b, 5)
+		_ = p.Dot(b, RHS).Value()
+		if c := mon.Count(); c != 1 {
+			t.Fatalf("dot raised %d alarms, want 1: %v", c, mon.Alarms())
+		}
+	})
+
+	t.Run("axpy", func(t *testing.T) {
+		p, mon, a, _ := sdcTestPlanner(t, n, pieces)
+		flip(p, SOL, 11)
+		p.Axpy(a, p.Constant(2), SOL)
+		p.Drain()
+		if c := mon.Count(); c != 1 {
+			t.Fatalf("axpy raised %d alarms, want 1: %v", c, mon.Alarms())
+		}
+	})
+}
+
+// Corrupting the reduction scratch between partial and combine trips the
+// bitwise guard-slot comparison. The injector targets the dot.batch
+// task's scratch span via the planner-installed corruption hook.
+func TestSDCDotBatchGuard(t *testing.T) {
+	const n, pieces = 256, 4
+	sol := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := range sol {
+		sol[i] = float64(i%7) - 3
+		rhs[i] = float64(i%5) + 1
+	}
+	p := NewPlanner(Config{Machine: machine.Lassen(2)})
+	si := p.AddSolVector(sol, index.EqualPartition(index.NewSpace("D", n), pieces))
+	ri := p.AddRHSVector(rhs, index.EqualPartition(index.NewSpace("R", n), pieces))
+	p.AddOperator(sparse.Laplacian2D(n/8, 8), si, ri)
+	p.Finalize()
+	mon := p.EnableSDCDetection(0)
+	// Corrupt every dot.batch task's output with certainty: the hook
+	// targets the scratch span (data + guard), and the flip of a low
+	// exponent bit shifts a partial enough to break the exact guard.
+	p.Runtime().SetFaultInjector(fault.NewInjector(fault.Plan{Seed: 3, BitFlipRate: 1, Bit: 52, Names: []string{"dot.batch"}}))
+	p.DotBatch(DotPair{V: SOL, W: RHS}, DotPair{V: RHS, W: RHS})
+	p.Drain()
+	if c := mon.Count(); c == 0 {
+		t.Fatal("corrupted reduction scratch raised no guard alarm")
+	}
+	for _, a := range mon.Take() {
+		if a.Task != "dot.batchreduce" {
+			t.Errorf("alarm task = %q, want dot.batchreduce", a.Task)
+		}
+	}
+}
+
+// The checksummed SpMV's in-task ABFT cross-check: corrupting the
+// matmul task's own output (post-run, the injector's model) must be
+// caught by the NEXT reader, and the maintained checksum stays
+// consistent with the column-checksum prediction on clean pieces.
+func TestSDCChecksumSpMV(t *testing.T) {
+	const n, pieces = 256, 4
+	p, mon, a, b := sdcTestPlanner(t, n, pieces)
+	p.Runtime().SetFaultInjector(fault.NewInjector(fault.Plan{Seed: 9, BitFlipRate: 1, Bit: 54, Names: []string{"matmul"}, Pieces: []int{2}}))
+	p.ChecksumSpMV(b, a)
+	p.Drain()
+	if c := mon.Count(); c != 0 {
+		// Post-run corruption is invisible to the producing task itself.
+		t.Fatalf("matmul self-check alarmed on post-run corruption (%d alarms) — corruption model violated", c)
+	}
+	if got := p.VerifyChecksums(b); got != 1 {
+		t.Fatalf("scan after corrupted SpMV raised %d alarms, want 1: %v", got, mon.Alarms())
+	}
+}
+
+// RestoreSolPieces restores only the named pieces and reseeds their
+// checksums; untouched pieces keep their (newer) state.
+func TestSDCRestoreSolPieces(t *testing.T) {
+	const n, pieces = 256, 4
+	p, mon, _, _ := sdcTestPlanner(t, n, pieces)
+	p.Drain()
+	ckpt := p.CheckpointSol()
+	// Advance the solution, then corrupt piece 1.
+	p.Axpy(SOL, p.Constant(1), RHS)
+	p.Drain()
+	advanced := append([]float64(nil), p.SolData(0)...)
+	per := int64(n / pieces)
+	d := p.SolData(0)
+	d[per+7] = fault.FlipBit(d[per+7], 52)
+
+	p.RestoreSolPieces(ckpt, []int{1})
+	if got := p.VerifyChecksums(SOL); got != 0 {
+		t.Fatalf("restored solution failed verification: %v", mon.Alarms())
+	}
+	for i := int64(0); i < n; i++ {
+		want := advanced[i]
+		if i >= per && i < 2*per {
+			want = ckpt[0][i]
+		}
+		if d[i] != want {
+			t.Fatalf("sol[%d] = %g, want %g (piece %d)", i, d[i], want, i/per)
+		}
+	}
+}
+
+func TestNthPoint(t *testing.T) {
+	s := index.Span(3, 5).Union(index.Span(10, 10)).Union(index.Span(20, 22))
+	want := []int64{3, 4, 5, 10, 20, 21, 22}
+	for k, w := range want {
+		if got := nthPoint(s, int64(k)); got != w {
+			t.Errorf("nthPoint(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+// Low-mantissa-bit flips are below the summation-ABFT detection floor by
+// design: the relative perturbation is ~1e-16, far under any tolerance
+// that survives honest rounding. Document the floor as a test.
+func TestSDCDetectionFloor(t *testing.T) {
+	const n, pieces = 256, 4
+	p, mon, a, _ := sdcTestPlanner(t, n, pieces)
+	p.Drain()
+	d := p.VecData(a, 0)
+	d[3] = fault.FlipBit(d[3], 0) // lowest mantissa bit
+	if got := p.VerifyChecksums(a); got != 0 {
+		t.Fatalf("low-bit flip unexpectedly alarmed (%v) — detection floor moved", mon.Alarms())
+	}
+	if math.IsNaN(d[3]) {
+		t.Fatal("flip produced NaN")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"kdrsolvers/internal/index"
 	"kdrsolvers/internal/region"
 	"kdrsolvers/internal/taskrt"
@@ -17,6 +19,12 @@ import (
 // write bodies (scal, axpy, xpay, reductions) are not: a partial first
 // attempt would double-apply, so their failures escalate to the solver's
 // checkpoint/restart layer instead.
+//
+// With SDC detection on (see sdc.go) every operation also maintains the
+// per-piece checksum slots of the vectors it writes and verifies the
+// checksums of the vectors it reads — the sums fold into the passes the
+// kernels already make, so the checksummed forms read the same memory and
+// add only O(pieces) slot traffic.
 
 // pieceRef builds a region reference for one piece of one vector
 // component.
@@ -37,7 +45,15 @@ func eachPiece(comps []component, fn func(ci, color int, subset index.IntervalSe
 func (p *Planner) Zero(dst VecID) {
 	p.mustBeFinalized()
 	dv, dc := p.vecComps(dst)
+	sdc, hooks := p.sdcOn(), p.faultHooks()
+	var chk []float64
+	if sdc {
+		chk = p.chkData(dst)
+	}
+	slot := 0
 	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		mySlot := slot
+		slot++
 		var run func() float64
 		if !p.virtual {
 			d := dv.regs[ci].Field("v")
@@ -47,15 +63,25 @@ func (p *Planner) Zero(dst VecID) {
 						d[i] = 0
 					}
 				})
+				if sdc {
+					chk[mySlot] = 0
+				}
 				return 0
 			}
 		}
-		p.batch(taskrt.TaskSpec{
-			Name: "zero", Proc: proc,
+		spec := taskrt.TaskSpec{
+			Name: "zero", Proc: proc, Piece: mySlot + 1,
 			Cost: p.mach.Blas1Cost(subset.Size()),
 			Refs: []region.Ref{pieceRef(dv.regs[ci], subset, region.WriteDiscard)},
 			Run:  run, Retryable: true,
-		})
+		}
+		if sdc {
+			spec.Refs = append(spec.Refs, p.chkRef(dst, mySlot, region.WriteDiscard))
+		}
+		if hooks {
+			spec.Corrupt = corruptHook(corruptTarget{dv.regs[ci].Field("v"), subset})
+		}
+		p.batch(spec)
 	})
 	p.flushBatch()
 }
@@ -67,26 +93,60 @@ func (p *Planner) Copy(dst, src VecID) {
 		return
 	}
 	dc, dv, sv := p.checkCompatible(dst, src)
+	sdc, hooks := p.sdcOn(), p.faultHooks()
+	var chkD, chkS []float64
+	var mon *SDCMonitor
+	var tol float64
+	if sdc {
+		chkD, chkS = p.chkData(dst), p.chkData(src)
+		mon, tol = p.sdc.mon, p.sdc.tol
+	}
+	slot := 0
 	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		mySlot := slot
+		slot++
 		var run func() float64
 		if !p.virtual {
 			d, s := dv.regs[ci].Field("v"), sv.regs[ci].Field("v")
 			run = func() float64 {
+				if !sdc {
+					subset.EachInterval(func(iv index.Interval) {
+						copy(d[iv.Lo:iv.Hi+1], s[iv.Lo:iv.Hi+1])
+					})
+					return 0
+				}
+				var sum, abs float64
 				subset.EachInterval(func(iv index.Interval) {
-					copy(d[iv.Lo:iv.Hi+1], s[iv.Lo:iv.Hi+1])
+					for i := iv.Lo; i <= iv.Hi; i++ {
+						v := s[i]
+						d[i] = v
+						sum += v
+						abs += math.Abs(v)
+					}
 				})
+				verifySlot(mon, tol, "copy", src, mySlot, chkS, sum, abs)
+				chkD[mySlot] = sum
 				return 0
 			}
 		}
-		p.batch(taskrt.TaskSpec{
-			Name: "copy", Proc: proc,
+		spec := taskrt.TaskSpec{
+			Name: "copy", Proc: proc, Piece: mySlot + 1,
 			Cost: p.mach.CopyCost(subset.Size()),
 			Refs: []region.Ref{
 				pieceRef(dv.regs[ci], subset, region.WriteDiscard),
 				pieceRef(sv.regs[ci], subset, region.ReadOnly),
 			},
 			Run: run, Retryable: true,
-		})
+		}
+		if sdc {
+			spec.Refs = append(spec.Refs,
+				p.chkRef(dst, mySlot, region.WriteDiscard),
+				p.chkRef(src, mySlot, region.ReadWrite))
+		}
+		if hooks {
+			spec.Corrupt = corruptHook(corruptTarget{dv.regs[ci].Field("v"), subset})
+		}
+		p.batch(spec)
 	})
 	p.flushBatch()
 }
@@ -95,30 +155,62 @@ func (p *Planner) Copy(dst, src VecID) {
 func (p *Planner) Scal(dst VecID, alpha *Scalar) {
 	p.mustBeFinalized()
 	dv, dc := p.vecComps(dst)
+	sdc, hooks := p.sdcOn(), p.faultHooks()
+	var chkD []float64
+	var mon *SDCMonitor
+	var tol float64
+	if sdc {
+		chkD = p.chkData(dst)
+		mon, tol = p.sdc.mon, p.sdc.tol
+	}
+	slot := 0
 	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		mySlot := slot
+		slot++
 		var run func() float64
 		if !p.virtual {
 			d := dv.regs[ci].Field("v")
 			a := alpha.reg.Field("s")
 			run = func() float64 {
 				av := a[0]
+				if !sdc {
+					subset.EachInterval(func(iv index.Interval) {
+						for i := iv.Lo; i <= iv.Hi; i++ {
+							d[i] *= av
+						}
+					})
+					return 0
+				}
+				var sum, abs float64
 				subset.EachInterval(func(iv index.Interval) {
 					for i := iv.Lo; i <= iv.Hi; i++ {
-						d[i] *= av
+						v := d[i]
+						sum += v
+						abs += math.Abs(v)
+						d[i] = av * v
 					}
 				})
+				verifySlot(mon, tol, "scal", dst, mySlot, chkD, sum, abs)
+				chkD[mySlot] = av * sum
 				return 0
 			}
 		}
-		p.batch(taskrt.TaskSpec{
-			Name: "scal", Proc: proc,
+		spec := taskrt.TaskSpec{
+			Name: "scal", Proc: proc, Piece: mySlot + 1,
 			Cost: p.mach.ScalCost(subset.Size()),
 			Refs: []region.Ref{
 				pieceRef(dv.regs[ci], subset, region.ReadWrite),
 				alpha.ref(region.ReadOnly),
 			},
 			Run: run,
-		})
+		}
+		if sdc {
+			spec.Refs = append(spec.Refs, p.chkRef(dst, mySlot, region.ReadWrite))
+		}
+		if hooks {
+			spec.Corrupt = corruptHook(corruptTarget{dv.regs[ci].Field("v"), subset})
+		}
+		p.batch(spec)
 	})
 	p.flushBatch()
 }
@@ -127,23 +219,51 @@ func (p *Planner) Scal(dst VecID, alpha *Scalar) {
 func (p *Planner) Axpy(dst VecID, alpha *Scalar, src VecID) {
 	p.mustBeFinalized()
 	dc, dv, sv := p.checkCompatible(dst, src)
+	sdc, hooks := p.sdcOn(), p.faultHooks()
+	var chkD, chkS []float64
+	var mon *SDCMonitor
+	var tol float64
+	if sdc {
+		chkD, chkS = p.chkData(dst), p.chkData(src)
+		mon, tol = p.sdc.mon, p.sdc.tol
+	}
+	slot := 0
 	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		mySlot := slot
+		slot++
 		var run func() float64
 		if !p.virtual {
 			d, s := dv.regs[ci].Field("v"), sv.regs[ci].Field("v")
 			a := alpha.reg.Field("s")
 			run = func() float64 {
 				av := a[0]
+				if !sdc {
+					subset.EachInterval(func(iv index.Interval) {
+						for i := iv.Lo; i <= iv.Hi; i++ {
+							d[i] += av * s[i]
+						}
+					})
+					return 0
+				}
+				var sumD, absD, sumS, absS float64
 				subset.EachInterval(func(iv index.Interval) {
 					for i := iv.Lo; i <= iv.Hi; i++ {
-						d[i] += av * s[i]
+						dv0, sv0 := d[i], s[i]
+						sumD += dv0
+						absD += math.Abs(dv0)
+						sumS += sv0
+						absS += math.Abs(sv0)
+						d[i] = dv0 + av*sv0
 					}
 				})
+				verifySlot(mon, tol, "axpy", dst, mySlot, chkD, sumD, absD)
+				verifySlot(mon, tol, "axpy", src, mySlot, chkS, sumS, absS)
+				chkD[mySlot] = sumD + av*sumS
 				return 0
 			}
 		}
-		p.batch(taskrt.TaskSpec{
-			Name: "axpy", Proc: proc,
+		spec := taskrt.TaskSpec{
+			Name: "axpy", Proc: proc, Piece: mySlot + 1,
 			Cost: p.mach.AxpyCost(subset.Size()),
 			Refs: []region.Ref{
 				pieceRef(dv.regs[ci], subset, region.ReadWrite),
@@ -151,7 +271,17 @@ func (p *Planner) Axpy(dst VecID, alpha *Scalar, src VecID) {
 				alpha.ref(region.ReadOnly),
 			},
 			Run: run,
-		})
+		}
+		if sdc {
+			spec.Refs = append(spec.Refs, p.chkRef(dst, mySlot, region.ReadWrite))
+			if src != dst {
+				spec.Refs = append(spec.Refs, p.chkRef(src, mySlot, region.ReadWrite))
+			}
+		}
+		if hooks {
+			spec.Corrupt = corruptHook(corruptTarget{dv.regs[ci].Field("v"), subset})
+		}
+		p.batch(spec)
 	})
 	p.flushBatch()
 }
@@ -160,23 +290,51 @@ func (p *Planner) Axpy(dst VecID, alpha *Scalar, src VecID) {
 func (p *Planner) Xpay(dst VecID, alpha *Scalar, src VecID) {
 	p.mustBeFinalized()
 	dc, dv, sv := p.checkCompatible(dst, src)
+	sdc, hooks := p.sdcOn(), p.faultHooks()
+	var chkD, chkS []float64
+	var mon *SDCMonitor
+	var tol float64
+	if sdc {
+		chkD, chkS = p.chkData(dst), p.chkData(src)
+		mon, tol = p.sdc.mon, p.sdc.tol
+	}
+	slot := 0
 	eachPiece(dc, func(ci, color int, subset index.IntervalSet, proc int) {
+		mySlot := slot
+		slot++
 		var run func() float64
 		if !p.virtual {
 			d, s := dv.regs[ci].Field("v"), sv.regs[ci].Field("v")
 			a := alpha.reg.Field("s")
 			run = func() float64 {
 				av := a[0]
+				if !sdc {
+					subset.EachInterval(func(iv index.Interval) {
+						for i := iv.Lo; i <= iv.Hi; i++ {
+							d[i] = s[i] + av*d[i]
+						}
+					})
+					return 0
+				}
+				var sumD, absD, sumS, absS float64
 				subset.EachInterval(func(iv index.Interval) {
 					for i := iv.Lo; i <= iv.Hi; i++ {
-						d[i] = s[i] + av*d[i]
+						dv0, sv0 := d[i], s[i]
+						sumD += dv0
+						absD += math.Abs(dv0)
+						sumS += sv0
+						absS += math.Abs(sv0)
+						d[i] = sv0 + av*dv0
 					}
 				})
+				verifySlot(mon, tol, "xpay", dst, mySlot, chkD, sumD, absD)
+				verifySlot(mon, tol, "xpay", src, mySlot, chkS, sumS, absS)
+				chkD[mySlot] = sumS + av*sumD
 				return 0
 			}
 		}
-		p.batch(taskrt.TaskSpec{
-			Name: "xpay", Proc: proc,
+		spec := taskrt.TaskSpec{
+			Name: "xpay", Proc: proc, Piece: mySlot + 1,
 			Cost: p.mach.AxpyCost(subset.Size()),
 			Refs: []region.Ref{
 				pieceRef(dv.regs[ci], subset, region.ReadWrite),
@@ -184,7 +342,17 @@ func (p *Planner) Xpay(dst VecID, alpha *Scalar, src VecID) {
 				alpha.ref(region.ReadOnly),
 			},
 			Run: run,
-		})
+		}
+		if sdc {
+			spec.Refs = append(spec.Refs, p.chkRef(dst, mySlot, region.ReadWrite))
+			if src != dst {
+				spec.Refs = append(spec.Refs, p.chkRef(src, mySlot, region.ReadWrite))
+			}
+		}
+		if hooks {
+			spec.Corrupt = corruptHook(corruptTarget{dv.regs[ci].Field("v"), subset})
+		}
+		p.batch(spec)
 	})
 	p.flushBatch()
 }
@@ -197,6 +365,14 @@ func (p *Planner) Xpay(dst VecID, alpha *Scalar, src VecID) {
 func (p *Planner) Dot(v, w VecID) *Scalar {
 	p.mustBeFinalized()
 	vc, vv, wv := p.checkCompatible(v, w)
+	sdc, hooks := p.sdcOn(), p.faultHooks()
+	var chkV, chkW []float64
+	var mon *SDCMonitor
+	var tol float64
+	if sdc {
+		chkV, chkW = p.chkData(v), p.chkData(w)
+		mon, tol = p.sdc.mon, p.sdc.tol
+	}
 
 	// Count total pieces for the scratch region.
 	total := 0
@@ -212,7 +388,7 @@ func (p *Planner) Dot(v, w VecID) *Scalar {
 
 	slot := 0
 	eachPiece(vc, func(ci, color int, subset index.IntervalSet, proc int) {
-		mySlot := int64(slot)
+		mySlot := slot
 		slot++
 		var run func() float64
 		if !p.virtual {
@@ -220,25 +396,54 @@ func (p *Planner) Dot(v, w VecID) *Scalar {
 			out := scratch.Field("s")
 			run = func() float64 {
 				var sum float64
+				if !sdc {
+					subset.EachInterval(func(iv index.Interval) {
+						for i := iv.Lo; i <= iv.Hi; i++ {
+							sum += a[i] * b[i]
+						}
+					})
+					out[mySlot] = sum
+					return sum
+				}
+				var sumV, absV, sumW, absW float64
 				subset.EachInterval(func(iv index.Interval) {
 					for i := iv.Lo; i <= iv.Hi; i++ {
-						sum += a[i] * b[i]
+						x, y := a[i], b[i]
+						sum += x * y
+						sumV += x
+						absV += math.Abs(x)
+						sumW += y
+						absW += math.Abs(y)
 					}
 				})
+				verifySlot(mon, tol, "dot.partial", v, mySlot, chkV, sumV, absV)
+				if w != v {
+					verifySlot(mon, tol, "dot.partial", w, mySlot, chkW, sumW, absW)
+				}
 				out[mySlot] = sum
 				return sum
 			}
 		}
-		p.batch(taskrt.TaskSpec{
-			Name: "dot.partial", Proc: proc,
+		spec := taskrt.TaskSpec{
+			Name: "dot.partial", Proc: proc, Piece: mySlot + 1,
 			Cost: p.mach.DotCost(subset.Size()),
 			Refs: []region.Ref{
 				pieceRef(vv.regs[ci], subset, region.ReadOnly),
 				pieceRef(wv.regs[ci], subset, region.ReadOnly),
-				{Region: scratch.ID(), Field: "s", Subset: index.Span(mySlot, mySlot), Priv: region.WriteDiscard},
+				{Region: scratch.ID(), Field: "s", Subset: index.Span(int64(mySlot), int64(mySlot)), Priv: region.WriteDiscard},
 			},
 			Run: run, Retryable: true,
-		})
+		}
+		if sdc {
+			spec.Refs = append(spec.Refs, p.chkRef(v, mySlot, region.ReadWrite))
+			if w != v {
+				spec.Refs = append(spec.Refs, p.chkRef(w, mySlot, region.ReadWrite))
+			}
+		}
+		if hooks {
+			spec.Corrupt = corruptHook(corruptTarget{scratch.Field("s"), index.Span(int64(mySlot), int64(mySlot))})
+		}
+		p.batch(spec)
 	})
 	p.flushBatch()
 

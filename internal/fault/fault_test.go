@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
@@ -9,7 +11,7 @@ import (
 func schedule(in *Injector, n int, name, phase string) []Kind {
 	out := make([]Kind, n)
 	for i := range out {
-		out[i] = in.Decide(name, phase).Kind
+		out[i] = in.Decide(name, phase, -1).Kind
 	}
 	return out
 }
@@ -40,7 +42,7 @@ func TestFaultDeterministicSchedule(t *testing.T) {
 func TestFaultRatesPartitionOneDraw(t *testing.T) {
 	in := NewInjector(Plan{Seed: 1, PanicRate: 0.3, NaNRate: 0.3, StallRate: 0.3})
 	const n = 10000
-	var got [4]int
+	var got [8]int
 	for _, k := range schedule(in, n, "t", "") {
 		got[k]++
 	}
@@ -67,10 +69,10 @@ func TestFaultFiltersConsumeNoRandomness(t *testing.T) {
 	in := NewInjector(plan)
 	var b []Kind
 	for i := 0; i < 100; i++ {
-		if got := in.Decide("dot.partial", ""); got.Kind != None {
+		if got := in.Decide("dot.partial", "", -1); got.Kind != None {
 			t.Fatal("filtered-out task was injected")
 		}
-		b = append(b, in.Decide("axpy", "").Kind)
+		b = append(b, in.Decide("axpy", "", -1).Kind)
 	}
 	for i := range a {
 		if a[i] != b[i] {
@@ -81,11 +83,34 @@ func TestFaultFiltersConsumeNoRandomness(t *testing.T) {
 
 func TestFaultPhaseFilter(t *testing.T) {
 	in := NewInjector(Plan{Seed: 1, PanicRate: 1, Phases: []string{"cg.step"}})
-	if in.Decide("axpy", "resilient.verify").Kind != None {
+	if in.Decide("axpy", "resilient.verify", -1).Kind != None {
 		t.Fatal("wrong phase was injected")
 	}
-	if in.Decide("axpy", "cg.step").Kind != Panic {
+	if in.Decide("axpy", "cg.step", -1).Kind != Panic {
 		t.Fatal("matching phase was not injected at rate 1")
+	}
+}
+
+func TestFaultPieceFilter(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, BitFlipRate: 1, Pieces: []int{2}})
+	if in.Decide("axpy", "", 0).Kind != None {
+		t.Fatal("wrong piece was injected")
+	}
+	if in.Decide("axpy", "", -1).Kind != None {
+		t.Fatal("pieceless task was injected under a piece filter")
+	}
+	if in.Decide("axpy", "", 2).Kind != BitFlip {
+		t.Fatal("matching piece was not injected at rate 1")
+	}
+	// Filtered pieces consume no randomness: the eligible subsequence is
+	// unperturbed by interleaved off-piece decisions.
+	plan := Plan{Seed: 11, BitFlipRate: 0.5, Pieces: []int{1}}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 50; i++ {
+		b.Decide("axpy", "", 0)
+		if a.Decide("axpy", "", 1).Kind != b.Decide("axpy", "", 1).Kind {
+			t.Fatalf("off-piece decisions perturbed the schedule at %d", i)
+		}
 	}
 }
 
@@ -101,7 +126,7 @@ func TestFaultMaxFaultsCap(t *testing.T) {
 
 func TestFaultStickyAndStallPropagate(t *testing.T) {
 	in := NewInjector(Plan{Seed: 1, StallRate: 1, StallFor: 7 * time.Millisecond, Sticky: true})
-	inj := in.Decide("t", "")
+	inj := in.Decide("t", "", -1)
 	if inj.Kind != Stall || !inj.Sticky || inj.Stall != 7*time.Millisecond {
 		t.Fatalf("injection = %+v", inj)
 	}
@@ -109,8 +134,74 @@ func TestFaultStickyAndStallPropagate(t *testing.T) {
 
 func TestFaultDefaultStall(t *testing.T) {
 	in := NewInjector(Plan{Seed: 1, StallRate: 1})
-	if got := in.Decide("t", "").Stall; got != 50*time.Millisecond {
+	if got := in.Decide("t", "", -1).Stall; got != 50*time.Millisecond {
 		t.Fatalf("default stall = %v, want 50ms", got)
+	}
+}
+
+func TestFaultBitFlipInjectionParams(t *testing.T) {
+	in := NewInjector(Plan{Seed: 5, BitFlipRate: 1, Bit: 52})
+	inj := in.Decide("t", "", -1)
+	if inj.Kind != BitFlip || inj.Bit != 52 {
+		t.Fatalf("injection = %+v, want pinned bit 52", inj)
+	}
+	if inj.Pos < 0 || inj.Pos >= 1 {
+		t.Fatalf("Pos = %v, want in [0,1)", inj.Pos)
+	}
+	// Same seed, same corruption site.
+	again := NewInjector(Plan{Seed: 5, BitFlipRate: 1, Bit: 52}).Decide("t", "", -1)
+	if again.Pos != inj.Pos || again.Bit != inj.Bit {
+		t.Fatalf("corruption params not deterministic: %+v vs %+v", inj, again)
+	}
+	// Random bit mode stays in range and is deterministic too.
+	rb := NewInjector(Plan{Seed: 9, BitFlipRate: 1, RandomBit: true})
+	b1 := rb.Decide("t", "", -1).Bit
+	b2 := NewInjector(Plan{Seed: 9, BitFlipRate: 1, RandomBit: true}).Decide("t", "", -1).Bit
+	if b1 != b2 || b1 < 0 || b1 > 63 {
+		t.Fatalf("random bit: %d vs %d", b1, b2)
+	}
+}
+
+func TestFaultCorruptValue(t *testing.T) {
+	if got := FlipBit(1.0, 63); got != -1.0 {
+		t.Fatalf("sign flip of 1.0 = %v, want -1", got)
+	}
+	// 1.5 has biased exponent 1023 (odd), so flipping exponent bit 52
+	// clears it to 1022: the value halves.
+	if got := FlipBit(1.5, 52); got != 0.75 {
+		t.Fatalf("exponent-bit flip of 1.5 = %v, want 0.75", got)
+	}
+	if got := FlipBit(FlipBit(2.25, 17), 17); got != 2.25 {
+		t.Fatalf("double flip not an involution: %v", got)
+	}
+	inj := Injection{Kind: Scale, Factor: 2}
+	if got := inj.CorruptValue(3.0); got != 6.0 {
+		t.Fatalf("scale corruption = %v, want 6", got)
+	}
+	if got := (Injection{Kind: Stall}).CorruptValue(3.0); got != 3.0 {
+		t.Fatalf("non-corrupting kind changed the value: %v", got)
+	}
+	if v := FlipBit(1.0, 64); v != 1.0 {
+		t.Fatalf("out-of-range bit changed the value: %v", v)
+	}
+}
+
+// Every kind's rate key round-trips: ParsePlan("<kind>=1") must yield an
+// injector whose decisions stringify back to the same kind name.
+func TestFaultKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		spec := fmt.Sprintf("%s=1", k)
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		got := NewInjector(p).Decide("t", "", -1).Kind
+		if got.String() != k.String() {
+			t.Errorf("ParsePlan(%q) → Decide → %q, want %q", spec, got, k)
+		}
+	}
+	if None.String() != "none" {
+		t.Errorf("None.String() = %q", None)
 	}
 }
 
@@ -160,14 +251,47 @@ func TestFaultParsePlanEmptyAndErrors(t *testing.T) {
 		t.Fatalf("empty spec: plan %+v, err %v", p, err)
 	}
 	for _, bad := range []string{
-		"panic",             // not key=value
-		"panic=lots",        // bad float
-		"bogus=1",           // unknown key
-		"panic=0.9,nan=0.9", // rates sum past 1
-		"panic=-0.1",        // negative rate
+		"panic",                 // not key=value
+		"panic=lots",            // bad float
+		"bogus=1",               // unknown key
+		"panic=0.9,nan=0.9",     // rates sum past 1
+		"panic=-0.1",            // negative rate
+		"bitflip=0.9,scale=0.2", // new rates join the sum check
+		"bit=64",                // bit out of range
+		"piece=0|x",             // bad piece list
 	} {
 		if _, err := ParsePlan(bad); err == nil {
 			t.Errorf("ParsePlan(%q) succeeded, want error", bad)
 		}
+	}
+	// Unknown keys name every valid key, so a typo'd kind is self-repairing
+	// from the error text alone (mirrors sparse.ErrUnknownFormat).
+	_, err := ParsePlan("bogus=1")
+	if err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	for _, k := range Kinds {
+		if !strings.Contains(err.Error(), k.String()) {
+			t.Errorf("unknown-key error %q does not list kind %q", err, k)
+		}
+	}
+}
+
+func TestFaultParsePlanCorruptionKeys(t *testing.T) {
+	p, err := ParsePlan("bitflip=0.02,scale=0.01,bit=52,factor=1.5,piece=0|3,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BitFlipRate != 0.02 || p.ScaleRate != 0.01 || p.Bit != 52 || p.ScaleBy != 1.5 {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+	if len(p.Pieces) != 2 || p.Pieces[0] != 0 || p.Pieces[1] != 3 {
+		t.Fatalf("Pieces = %v", p.Pieces)
+	}
+	if !p.Active() {
+		t.Fatal("corruption-only plan should be active")
+	}
+	if rp, err := ParsePlan("bitflip=1,bit=rand"); err != nil || !rp.RandomBit {
+		t.Fatalf("bit=rand: plan %+v, err %v", rp, err)
 	}
 }

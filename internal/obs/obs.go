@@ -71,6 +71,9 @@ const (
 	FailurePanic     = "panic"
 	FailureStraggler = "straggler"
 	FailureCancelled = "cancelled"
+	// FailureSDC records a silent-data-corruption checksum alarm (raised
+	// by core's ABFT verification, not by the failing task itself).
+	FailureSDC = "sdc"
 )
 
 // Recorder collects spans and failures from a concurrent execution. All

@@ -24,6 +24,24 @@ type ResilientConfig struct {
 	// DivergeFactor triggers a restart when the residual exceeds this
 	// multiple of the best residual seen (default 1e8).
 	DivergeFactor float64
+	// DetectSDC enables ABFT checksum detection on the planner
+	// (core.EnableSDCDetection) and drives selective recovery from its
+	// alarms: solution pieces a checksum localized corruption to are
+	// restored from the last verified checkpoint — healthy pieces keep
+	// their newer state — and the solver's recurrence is force-rebased on
+	// the recomputed true residual. Solvers without residual replacement
+	// fall back to a whole-solve rollback on alarm.
+	DetectSDC bool
+	// ReplaceEvery, when positive and the solver implements
+	// ResidualReplacer, runs a residual-replacement check every
+	// ReplaceEvery iterations: the true residual b − A·x is recomputed
+	// and the recurrence rebased when its drift exceeds DriftTol (van der
+	// Vorst & Ye). This bounds the damage of corruption below the
+	// detection floor as well as honest rounding drift.
+	ReplaceEvery int
+	// DriftTol is the relative drift threshold of the periodic
+	// replacement check; <= 0 replaces unconditionally at every check.
+	DriftTol float64
 	// Log, when non-nil, receives progress lines (checkpoints, restarts,
 	// recovery decisions).
 	Log func(format string, args ...any)
@@ -40,6 +58,15 @@ type ResilientResult struct {
 	// by rolling back (runtime-level retries are counted by the runtime's
 	// own Stats.Retries, not here).
 	RecoveredFailures int64
+	// SDCAlarms counts checksum alarms the detection layer raised
+	// (DetectSDC only).
+	SDCAlarms int64
+	// PieceRestores counts solution pieces selectively restored from the
+	// last checkpoint after an alarm localized corruption to them.
+	PieceRestores int
+	// MaxDrift is the largest recurrence-vs-true drift any replacement
+	// check observed.
+	MaxDrift float64
 }
 
 // SolveResilient drives a solver to convergence in the presence of task
@@ -50,11 +77,22 @@ type ResilientResult struct {
 //     the TRUE residual ‖b − Ax‖ (not the recurrence residual, which a
 //     corrupted scalar can lie about), and — if finite and not diverged —
 //     checkpoints the solution vector through the planner.
+//   - With DetectSDC, the planner's checksummed kernels raise alarms the
+//     driver polls every iteration. An alarm on a solution piece restores
+//     just that piece from the last checkpoint (core.RestoreSolPieces);
+//     alarms anywhere else leave the data in place. Either way the
+//     recurrence is force-rebased on the recomputed true residual
+//     (ResidualReplacer), so corrupted workspaces are rebuilt rather than
+//     trusted. The mixed-age solution this produces is a legitimate
+//     restart point — the Krylov methods here are stationary in x.
+//   - With ReplaceEvery > 0, a periodic residual-replacement check
+//     bounds recurrence drift (and sub-floor corruption) between alarms.
 //   - When the iteration's residual goes NaN/Inf (a poisoned future or
-//     injected corruption), diverges past DivergeFactor × best, or the
-//     method reports a Krylov breakdown, it restores the last checkpoint
-//     and rebuilds the solver with newSolver, which re-runs residualInit
-//     on the restored state — a bounded number of times (MaxRestarts).
+//     corruption past detection), diverges past DivergeFactor × best, or
+//     the method reports a Krylov breakdown — or an alarm fires on a
+//     solver without residual replacement — it restores the whole
+//     checkpoint and rebuilds the solver with newSolver, a bounded
+//     number of times (MaxRestarts).
 //
 // Any finite intermediate state is a legitimate restart point for the
 // Krylov methods here (they are stationary in x), which is why a verified
@@ -80,6 +118,14 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 	}
 	rt := p.Runtime()
 
+	var mon *core.SDCMonitor
+	if cfg.DetectSDC {
+		mon = p.EnableSDCDetection(0)
+		if rec := rt.Recorder(); rec != nil {
+			mon.SetRecorder(rec) // alarms show up in profiles as FailureSDC
+		}
+	}
+
 	// Workspace for true-residual verification, reused across checks.
 	verify := p.AllocateWorkspace(core.RhsShape)
 	trueResidual := func() float64 {
@@ -91,6 +137,11 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 
 	var out ResilientResult
 	failedBase := rt.Stats().Failed
+	noteDrift := func(rep ReplacementReport) {
+		if isFinite(rep.Drift) && rep.Drift > out.MaxDrift {
+			out.MaxDrift = rep.Drift
+		}
+	}
 
 	// Initial checkpoint: x0 as supplied. The evaluation itself can be hit
 	// by a fault, and x0 is trivially restorable (nothing has written to
@@ -106,22 +157,26 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 		p.Drain()
 	}
 	if math.IsNaN(r0) || math.IsInf(r0, 0) {
-		out.Residual = r0
+		out.Residual, out.TrueResidual = r0, r0
 		return out
 	}
 	ckpt := p.CheckpointSol()
 	out.Checkpoints++
 	best := r0
+	if mon != nil {
+		mon.Take() // alarms before the verified x0 checkpoint are moot
+	}
 	if r0 <= cfg.Tol {
 		out.Converged = true
-		out.Residual = r0
+		out.Residual, out.TrueResidual = r0, r0
 		return out
 	}
 
 	iter := 0
 	for restart := 0; ; restart++ {
 		s := newSolver()
-		sinceCkpt := 0
+		rplc, _ := s.(ResidualReplacer)
+		sinceCkpt, sinceReplace := 0, 0
 		bad := "" // non-empty when this leg must be abandoned
 
 	leg:
@@ -129,7 +184,63 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 			s.Step()
 			iter++
 			sinceCkpt++
+			sinceReplace++
 			res := math.Sqrt(s.ConvergenceMeasure().Value())
+
+			// Selective SDC recovery, before the bad-residual triage: a
+			// detected corruption is repaired in place (piece restore +
+			// forced replacement) instead of burning a whole-solve restart.
+			if mon != nil {
+				alarms := mon.Take()
+				if len(alarms) > 0 {
+					p.Drain()
+					alarms = append(alarms, mon.Take()...) // alarms surfaced by the drain
+					out.SDCAlarms += int64(len(alarms))
+					if rplc == nil {
+						bad = "sdc alarm (solver lacks residual replacement)"
+						break leg
+					}
+					slots := solSlots(alarms)
+					if len(slots) > 0 {
+						p.RestoreSolPieces(ckpt, slots)
+						out.PieceRestores += len(slots)
+					}
+					rep := rplc.ReplaceResidual(0) // forced rebase on b − A·x
+					out.Replacements++
+					noteDrift(rep)
+					p.Drain()
+					// Recovery itself read the pre-rebase state (the corrupt
+					// residual, the restored pieces' neighbors); any alarms it
+					// raised are self-inflicted and already handled.
+					mon.Take()
+					logf("resilient: %d sdc alarm(s) at iter %d; restored %d piece(s), rebased residual (true %.3g, drift %.3g)",
+						len(alarms), iter, len(slots), rep.TrueResidual, rep.Drift)
+					if !isFinite(rep.TrueResidual) {
+						bad = "true residual is not finite after sdc recovery"
+						break leg
+					}
+					res = rep.TrueResidual
+					sinceReplace = 0
+				}
+			}
+
+			// Periodic residual replacement (van der Vorst & Ye): rebase the
+			// recurrence when it has drifted from b − A·x.
+			if rplc != nil && cfg.ReplaceEvery > 0 && sinceReplace >= cfg.ReplaceEvery {
+				rep := rplc.ReplaceResidual(cfg.DriftTol)
+				noteDrift(rep)
+				sinceReplace = 0
+				if rep.Replaced {
+					out.Replacements++
+					logf("resilient: residual replaced at iter %d (true %.3g, drift %.3g)",
+						iter, rep.TrueResidual, rep.Drift)
+				}
+				if !isFinite(rep.TrueResidual) {
+					bad = "true residual is not finite at replacement check"
+					break leg
+				}
+				res = rep.TrueResidual
+			}
 
 			switch {
 			case math.IsNaN(res) || math.IsInf(res, 0):
@@ -156,7 +267,7 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 				p.Drain()
 				if rn <= cfg.Tol {
 					out.Converged = true
-					out.Residual = rn
+					out.Residual, out.TrueResidual = rn, rn
 					out.Iterations = iter
 					out.RecoveredFailures = rt.Stats().Failed - failedBase
 					return out
@@ -172,6 +283,12 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 				p.Drain()
 				rn := trueResidual()
 				p.Drain()
+				if mon != nil && len(mon.Alarms()) > 0 {
+					// Verification tripped checksums: handle on the next
+					// iteration's recovery pass instead of checkpointing a
+					// state known to be corrupt.
+					continue
+				}
 				if math.IsNaN(rn) || math.IsInf(rn, 0) || rn > cfg.DivergeFactor*best {
 					bad = "checkpoint verification failed"
 					break leg
@@ -190,13 +307,17 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 		out.RecoveredFailures = rt.Stats().Failed - failedBase
 		if bad == "" { // iteration budget exhausted
 			p.Drain()
-			out.Residual = trueResidual()
+			tr := trueResidual()
 			p.Drain()
+			out.Residual, out.TrueResidual = tr, tr
 			return out
 		}
 		if restart >= cfg.MaxRestarts {
 			logf("resilient: %s; restart budget (%d) exhausted", bad, cfg.MaxRestarts)
 			out.Residual = best
+			p.Drain()
+			out.TrueResidual = trueResidual()
+			p.Drain()
 			if bc, ok := s.(BreakdownChecker); ok {
 				out.Breakdown = bc.Breakdown()
 			}
@@ -206,6 +327,22 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 			bad, restart+1, cfg.MaxRestarts)
 		p.Drain()
 		p.RestoreSol(ckpt)
+		if mon != nil {
+			mon.Take() // rollback discards whatever the alarms indicted
+		}
 		out.Restarts++
 	}
+}
+
+// solSlots collects the distinct solution-piece slots the alarms indict.
+func solSlots(alarms []core.SDCAlarm) []int {
+	var slots []int
+	seen := map[int]bool{}
+	for _, a := range alarms {
+		if a.Vec == core.SOL && !seen[a.Slot] {
+			seen[a.Slot] = true
+			slots = append(slots, a.Slot)
+		}
+	}
+	return slots
 }

@@ -106,6 +106,11 @@ type Result struct {
 	TrueResidual float64
 	// Converged reports whether the tolerance was reached.
 	Converged bool
+	// Replacements counts residual-replacement events: rebasings of the
+	// recurrence residual onto the recomputed true residual b − A·x,
+	// performed periodically or on a corruption alarm by resilient
+	// drivers. Zero for plain Solve.
+	Replacements int
 	// Breakdown is non-nil when the method hit a Krylov breakdown (a
 	// vanished recurrence denominator) and stopped cleanly at the last
 	// iterate instead of NaN-poisoning it. It wraps ErrBreakdown.
@@ -135,6 +140,34 @@ type BreakdownChecker interface {
 // falsely converged iterate.
 type ConvergenceVerifier interface {
 	VerifyConvergence() float64
+}
+
+// ReplacementReport describes one residual-replacement decision.
+type ReplacementReport struct {
+	// TrueResidual is ‖b − A·x‖ recomputed from the current iterate.
+	TrueResidual float64
+	// Drift is the distance between the recurrence residual and the true
+	// residual (‖r_rec − r_true‖ for methods carrying an explicit residual
+	// vector; |est − true| for estimate-based methods).
+	Drift float64
+	// Replaced reports whether the recurrence was rebased onto the true
+	// residual.
+	Replaced bool
+}
+
+// ResidualReplacer is implemented by solvers supporting residual
+// replacement (van der Vorst & Ye): ReplaceResidual recomputes the true
+// residual b − A·x, measures how far the recurrence residual has
+// drifted from it, and — when the relative drift exceeds driftTol, or
+// always when driftTol <= 0 (a forced replacement, the corruption-
+// recovery path) — rebases the recurrence on the true residual so the
+// method converges to the actual solution rather than to its drifted
+// recurrence's fiction. Pipelined and s-step methods rebuild their
+// auxiliary recurrences (w = Ar, s = Ap, basis blocks) from the rebased
+// state; estimate-based methods (PGMRES, s-step CG) finish any open
+// cycle first and always replace.
+type ResidualReplacer interface {
+	ReplaceResidual(driftTol float64) ReplacementReport
 }
 
 // breakdownFlag records the first breakdown observed by guarded scalar

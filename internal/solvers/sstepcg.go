@@ -301,6 +301,19 @@ func (s *SStepCG) VerifyConvergence() float64 {
 	return math.Sqrt(math.Max(rr.Value(), 0))
 }
 
+// ReplaceResidual implements ResidualReplacer. The s-step block measure
+// lives entirely in coefficient space, so there is no recurrence vector
+// to compare elementwise: drift is |est − true| between the block's
+// coefficient-space estimate and the recomputed ‖b − A·x‖, and
+// replacement always rebases (VerifyConvergence already restarts the
+// direction from the honest residual, which is exactly the recovery a
+// corrupted basis block needs).
+func (s *SStepCG) ReplaceResidual(driftTol float64) ReplacementReport {
+	est := math.Sqrt(math.Max(s.res.Value(), 0))
+	tr := s.VerifyConvergence()
+	return ReplacementReport{TrueResidual: tr, Drift: math.Abs(tr - est), Replaced: true}
+}
+
 // quadForm evaluates aᵀ G b.
 func quadForm(g [][]float64, a, b []float64) float64 {
 	var sum float64

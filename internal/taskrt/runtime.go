@@ -52,6 +52,15 @@ type TaskSpec struct {
 	// launches of a solver iteration never read their futures; detaching
 	// them removes the last allocation on the trace-replay launch path.
 	Detached bool
+	// Piece is 1 + the task's piece index for tasks that operate on one
+	// piece of a partitioned vector, or 0 for tasks not associated with
+	// one piece. The fault injector's piece filter keys on it.
+	Piece int
+	// Corrupt, when set, is invoked after a successful body run if the
+	// injector chose a data-corruption fault (bitflip, scale) for this
+	// launch: it applies the corruption to the task's output region data.
+	// Tasks without the hook have their scalar result corrupted instead.
+	Corrupt func(fault.Injection)
 }
 
 // RetryPolicy bounds re-execution of retryable task bodies.
@@ -126,6 +135,11 @@ type Stats struct {
 	// Stragglers is the number of tasks flagged by the watchdog for
 	// exceeding the wall-clock budget.
 	Stragglers int64
+	// Corrupted is the number of tasks whose output data was silently
+	// corrupted by an injected bitflip/scale fault. No error is raised for
+	// these; the counter exists so chaos tests can assert the corruption
+	// actually landed.
+	Corrupted int64
 }
 
 // histKey identifies one field of one region in the dependence history.
@@ -306,6 +320,7 @@ type taskState struct {
 	launch    float64 // recorder time at launch (valid when rec != nil)
 	retryable bool
 	inj       fault.Injection
+	corrupt   func(fault.Injection)
 	poison    error // set under rt.mu before the task becomes ready
 	noRecycle bool  // an async reader (watchdog) may outlive complete()
 
@@ -470,6 +485,15 @@ func (rt *Runtime) SetFaultInjector(in *fault.Injector) {
 	rt.mu.Unlock()
 }
 
+// FaultsActive reports whether a fault injector is installed. Planner
+// layers use it to skip building per-launch corruption hooks on clean
+// runs.
+func (rt *Runtime) FaultsActive() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.injector != nil
+}
+
 // SetWatchdog flags tasks whose execution exceeds budget: Stats.Stragglers
 // is incremented and a "straggler" failure record goes to the attached
 // recorder. The task itself is not interrupted (goroutines cannot be
@@ -561,6 +585,7 @@ func (rt *Runtime) newTaskState(spec *TaskSpec) *taskState {
 	ts.proc = spec.Proc
 	ts.run = spec.Run
 	ts.retryable = spec.Retryable
+	ts.corrupt = spec.Corrupt
 	if !spec.Detached {
 		ts.future = newFuture()
 	}
@@ -575,6 +600,7 @@ func (rt *Runtime) recycle(ts *taskState) {
 	ts.poison = nil
 	ts.at = nil
 	ts.inj = fault.Injection{}
+	ts.corrupt = nil
 	ts.pending = 0
 	ts.wired = false
 	ts.splice = false
@@ -615,7 +641,7 @@ func (rt *Runtime) prepLocked(spec *TaskSpec, ts *taskState) {
 	}
 	ts.groups = rt.groupKeys(id, spec.Refs, ts.groups)
 	if rt.injector != nil {
-		ts.inj = rt.injector.Decide(spec.Name, ts.phase)
+		ts.inj = rt.injector.Decide(spec.Name, ts.phase, spec.Piece-1)
 	}
 	ts.rec = rt.rec
 	if ts.rec != nil {
@@ -1063,8 +1089,20 @@ func (rt *Runtime) runGuarded(ts *taskState, attempt int) (val float64, err erro
 	if ts.run != nil {
 		val = ts.run()
 	}
-	if inj.Kind == fault.NaN {
+	switch inj.Kind {
+	case fault.NaN:
 		val = math.NaN() // silent result corruption; no error is raised
+	case fault.BitFlip, fault.Scale:
+		// Silent data corruption lands after the body completes, so no
+		// in-task self-check can see it — only downstream checksums can.
+		if ts.corrupt != nil {
+			ts.corrupt(inj)
+		} else {
+			val = inj.CorruptValue(val)
+		}
+		rt.mu.Lock()
+		rt.stats.Corrupted++
+		rt.mu.Unlock()
 	}
 	return val, nil
 }
