@@ -9,7 +9,14 @@
 //
 // The right-hand side defaults to A·1 (so the exact solution is the
 // all-ones vector, making correctness easy to eyeball); -rhs ones uses
-// b = 1 instead. For SPD matrices try -solver cg or -solver pcg (Jacobi).
+// b = 1 instead, and -rhs rand:SEED draws deterministic uniform entries.
+// For SPD matrices try -solver cg or -solver pcg (Jacobi).
+//
+// Mmsolve is the one-shot front end of the same job machinery
+// cmd/mmserve serves over HTTP: both validate the identical
+// jobspec.Spec (a flag combination rejected here with exit 2 is a
+// request body rejected there with 400) and both execute it through
+// serve.RunSolve inside a taskrt session.
 //
 // -profile records wall-clock spans for every executed task and prints a
 // per-iteration telemetry line plus a per-task-name breakdown with the
@@ -36,8 +43,10 @@
 //
 // Exit status: 0 on a converged solve (including one that recovered from
 // injected or real task failures), 1 on non-convergence, breakdown, or
-// unrecovered task failure, 2 on usage errors — including an unknown
-// -format or -solver name (the error lists the valid spellings).
+// unrecovered task failure, 2 on usage errors — an unknown -format,
+// -solver, or -rhs name, or a nonsensical numeric value (-pieces 0,
+// -maxiter -1, -replace-every -5, a non-positive -tol); the error lists
+// what was wrong with every offending flag.
 package main
 
 import (
@@ -45,61 +54,52 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strconv"
 	"strings"
-	"time"
 
-	"kdrsolvers/internal/core"
-	"kdrsolvers/internal/fault"
-	"kdrsolvers/internal/index"
-	"kdrsolvers/internal/machine"
+	"kdrsolvers/internal/jobspec"
 	"kdrsolvers/internal/obs"
-	"kdrsolvers/internal/precond"
-	"kdrsolvers/internal/solvers"
+	"kdrsolvers/internal/serve"
 	"kdrsolvers/internal/sparse"
 	"kdrsolvers/internal/taskrt"
 )
 
 func main() {
-	solverName := flag.String("solver", "bicgstab", "cg, pipecg, sstep-cg, bicgstab, gmres, pgmres, gcrodr, minres, bicg, cgs, or pcg")
-	tol := flag.Float64("tol", 1e-8, "residual tolerance")
-	maxIter := flag.Int("maxiter", 10000, "iteration limit")
-	pieces := flag.Int("pieces", 8, "vector pieces")
-	format := flag.String("format", "csr", "operator storage: a format name (csr, coo, dia, ...) or 'auto' to tune each row band")
-	rhs := flag.String("rhs", "Aones", "right-hand side: 'Aones' (b = A·1) or 'ones' (b = 1)")
+	spec := jobspec.Default()
+	flag.StringVar(&spec.Solver, "solver", spec.Solver, "cg, pipecg, sstep-cg, bicgstab, gmres, pgmres, gcrodr, minres, bicg, cgs, or pcg")
+	flag.Float64Var(&spec.Tol, "tol", spec.Tol, "residual tolerance")
+	flag.IntVar(&spec.MaxIter, "maxiter", spec.MaxIter, "iteration limit")
+	flag.IntVar(&spec.Pieces, "pieces", spec.Pieces, "vector pieces")
+	flag.StringVar(&spec.Format, "format", spec.Format, "operator storage: a format name (csr, coo, dia, ...) or 'auto' to tune each row band")
+	flag.StringVar(&spec.RHS, "rhs", spec.RHS, "right-hand side: 'Aones' (b = A·1), 'ones' (b = 1), or 'rand:SEED'")
 	profile := flag.Bool("profile", false, "record task timings; print per-iteration telemetry and a per-task breakdown")
 	trace := flag.Bool("trace", true, "memoize dependence analysis of repeated solver iterations (trace replay)")
 	traceOut := flag.String("trace-out", "", "write recorded task spans as a Chrome trace to this file (implies -profile)")
-	faults := flag.String("faults", "", "fault-injection plan, e.g. 'panic=0.01,seed=1' (see internal/fault)")
-	retries := flag.Int("retries", 0, "execution attempts per idempotent task (0 or 1 disables retry)")
-	retryBackoff := flag.Duration("retry-backoff", 0, "delay before re-executing a failed task (doubles per attempt)")
-	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the solution every N iterations and roll back on failure (0 disables the resilient driver)")
-	maxRestarts := flag.Int("max-restarts", 3, "checkpoint rollback budget for the resilient driver")
-	watchdog := flag.Duration("watchdog", 0, "flag tasks running past this wall-clock budget as stragglers (0 disables)")
-	detectSDC := flag.Bool("detect-sdc", false, "enable ABFT checksummed kernels; with the resilient driver, recover from alarms by piece restore + residual replacement")
-	replaceEvery := flag.Int("replace-every", 0, "rebase the recurrence residual on the recomputed b - A·x every N iterations (resilient driver only, 0 disables)")
-	driftTol := flag.Float64("drift-tol", 0, "relative drift threshold for periodic residual replacement (<= 0 replaces unconditionally)")
+	flag.StringVar(&spec.Faults, "faults", "", "fault-injection plan, e.g. 'panic=0.01,seed=1' (see internal/fault)")
+	flag.IntVar(&spec.Retries, "retries", 0, "execution attempts per idempotent task (0 or 1 disables retry)")
+	flag.DurationVar(&spec.RetryBackoff, "retry-backoff", 0, "delay before re-executing a failed task (doubles per attempt)")
+	flag.IntVar(&spec.CheckpointEvery, "checkpoint-every", 0, "checkpoint the solution every N iterations and roll back on failure (0 disables the resilient driver)")
+	flag.IntVar(&spec.MaxRestarts, "max-restarts", spec.MaxRestarts, "checkpoint rollback budget for the resilient driver")
+	flag.DurationVar(&spec.Watchdog, "watchdog", 0, "flag tasks running past this wall-clock budget as stragglers (0 disables)")
+	flag.BoolVar(&spec.DetectSDC, "detect-sdc", false, "enable ABFT checksummed kernels; with the resilient driver, recover from alarms by piece restore + residual replacement")
+	flag.IntVar(&spec.ReplaceEvery, "replace-every", 0, "rebase the recurrence residual on the recomputed b - A·x every N iterations (resilient driver only, 0 disables)")
+	flag.Float64Var(&spec.DriftTol, "drift-tol", 0, "relative drift threshold for periodic residual replacement (<= 0 replaces unconditionally)")
 	strictRes := flag.Bool("strict-residual", false, "exit non-zero when the solver claims convergence but the true residual misses the tolerance")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mmsolve [flags] matrix.mtx")
 		os.Exit(2)
 	}
+	spec.Matrix = flag.Arg(0)
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmsolve:", err)
+		fmt.Fprintln(os.Stderr, "usage: mmsolve [flags] matrix.mtx (run -h for the flag list)")
+		os.Exit(2)
+	}
 	if *traceOut != "" {
 		*profile = true
 	}
-	plan, err := fault.ParsePlan(*faults)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mmsolve:", err)
-		os.Exit(2)
-	}
-	if !knownSolver(*solverName) {
-		fmt.Fprintf(os.Stderr, "mmsolve: unknown solver %q (valid: %s)\n",
-			*solverName, strings.Join(solvers.Names, ", "))
-		os.Exit(2)
-	}
 
-	a, err := loadMatrix(flag.Arg(0))
+	a, err := jobspec.LoadMatrix(spec.Matrix)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmsolve:", err)
 		os.Exit(1)
@@ -109,106 +109,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmsolve: matrix is %d x %d, need square\n", rows, cols)
 		os.Exit(1)
 	}
-	n := rows
 	fmt.Printf("matrix: %d x %d, %d nonzeros\n", rows, cols, a.NNZ())
-
-	b := make([]float64, n)
-	switch *rhs {
-	case "Aones":
-		ones := make([]float64, n)
-		for i := range ones {
-			ones[i] = 1
-		}
-		sparse.SpMV(a, b, ones)
-	case "ones":
-		for i := range b {
-			b[i] = 1
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "mmsolve: -rhs must be Aones or ones")
-		os.Exit(2)
+	if spec.Faults != "" {
+		fmt.Printf("fault injection: %s\n", spec.Faults)
 	}
 
-	x := make([]float64, n)
-	p := core.NewPlanner(core.Config{Machine: machine.Lassen(1)})
-	si := p.AddSolVector(x, index.EqualPartition(index.NewSpace("D", n), *pieces))
-	ri := p.AddRHSVector(b, index.EqualPartition(index.NewSpace("R", n), *pieces))
-	if strings.EqualFold(*format, "auto") {
-		tuned := p.AddOperatorAuto(a, si, ri)
-		fmt.Printf("format: auto -> %s\n", strings.Join(tuned.SelectedFormats(), " "))
-	} else {
-		// ConvertNamed resolves the name case-insensitively and returns a
-		// named error listing the valid formats — a bad -format is a usage
-		// error (exit 2), never a panic.
-		m, err := sparse.ConvertNamed(a, *format)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mmsolve:", err)
-			os.Exit(2)
-		}
-		p.AddOperator(m, si, ri)
+	// One-shot mode is the degenerate case of the server: one session on
+	// a fresh runtime, driven through the same RunSolve the server
+	// multiplexes many of.
+	rt := taskrt.New()
+	sess := rt.DefaultSession()
+	opt := serve.Options{
+		Session: sess,
+		Tracing: *trace,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
 	}
-	if *solverName == "pcg" {
-		p.AddPreconditioner(precond.Jacobi(a), si, ri)
-	}
-	p.Finalize()
-	p.SetTracing(*trace)
-
 	var rec *obs.Recorder
 	if *profile {
-		rec = p.EnableProfiling()
-	}
-	rt := p.Runtime()
-	var injector *fault.Injector
-	if plan.Active() {
-		injector = fault.NewInjector(plan)
-		rt.SetFaultInjector(injector)
-		fmt.Printf("fault injection: %s\n", *faults)
-	}
-	if *retries > 1 {
-		rt.SetRetryPolicy(taskrt.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff})
-	}
-	if *watchdog > 0 {
-		rt.SetWatchdog(*watchdog)
-	}
-
-	resilient := *ckptEvery > 0
-	if *detectSDC && !resilient {
-		// Detection without the resilient driver: observe-only. The driver
-		// enables it itself (and recovers) on the resilient path.
-		p.EnableSDCDetection(0)
-	}
-	start := time.Now()
-	var res solvers.Result
-	var rres solvers.ResilientResult
-	if resilient {
-		mr := *maxRestarts
-		if mr <= 0 {
-			mr = -1 // solvers.ResilientConfig: negative disables restarts
+		rec = obs.NewRecorder()
+		opt.Recorder = rec
+		opt.Telemetry = func(iter int, res float64) {
+			st := rt.Stats()
+			g := rt.Graph()
+			fmt.Printf("iter %4d  residual %.6e  tasks %6d  deps %6d  critpath %.3gs\n",
+				iter, res, st.Launched, st.DepEdges, g.CriticalPathCost())
 		}
-		rres = solvers.SolveResilient(p, func() solvers.Solver {
-			return solvers.New(*solverName, p)
-		}, solvers.ResilientConfig{
-			Tol: *tol, MaxIter: *maxIter,
-			CheckpointEvery: *ckptEvery, MaxRestarts: mr,
-			DetectSDC: *detectSDC, ReplaceEvery: *replaceEvery, DriftTol: *driftTol,
-			Log: func(format string, args ...any) {
-				fmt.Printf(format+"\n", args...)
-			},
-		})
-		res = rres.Result
-	} else {
-		s := solvers.New(*solverName, p)
-		res = solve(s, rt, *tol, *maxIter, *profile)
 	}
-	p.Drain()
-	elapsed := time.Since(start)
 
-	// The honest yardstick for everything below: ‖b − A·x‖ recomputed
-	// host-side from the raw matrix and arrays, sharing no code with the
-	// solve (so neither a drifted recurrence nor corrupted planner state
-	// can flatter it).
-	trueRes := hostResidual(a, x, b)
+	out := serve.RunSolve(a, spec, opt)
 
+	if len(out.AutoFormats) > 0 {
+		fmt.Printf("format: auto -> %s\n", strings.Join(out.AutoFormats, " "))
+	}
 	st := rt.Stats()
 	if *trace {
 		analyzed, spliced := rt.LaunchTiming()
@@ -219,44 +153,40 @@ func main() {
 				analyzed.Mean(), spliced.Mean())
 		}
 	}
-	if injector != nil || st.Failed > 0 || st.Retries > 0 || st.Stragglers > 0 {
+	if spec.Faults != "" || st.Failed > 0 || st.Retries > 0 || st.Stragglers > 0 {
 		fmt.Printf("faults: injected %d; tasks failed %d, retried %d, poisoned %d, stragglers %d\n",
-			injectedCount(injector), st.Failed, st.Retries, st.Poisoned, st.Stragglers)
+			out.Injected, st.Failed, st.Retries, st.Poisoned, st.Stragglers)
 	}
+	resilient := spec.CheckpointEvery > 0
 	if resilient {
 		fmt.Printf("resilience: %d checkpoint(s), %d restart(s), %d permanent failure(s) absorbed\n",
-			rres.Checkpoints, rres.Restarts, rres.RecoveredFailures)
+			out.Checkpoints, out.Restarts, out.RecoveredFailures)
 	}
-	if *detectSDC {
-		if mon := p.SDCMonitor(); mon != nil {
-			fmt.Printf("sdc: %d checksum alarm(s)", mon.Count())
-			if resilient {
-				fmt.Printf("; %d piece restore(s), %d residual replacement(s), max drift %.3g",
-					rres.PieceRestores, rres.Replacements, rres.MaxDrift)
-			}
-			fmt.Println()
+	if spec.DetectSDC {
+		fmt.Printf("sdc: %d checksum alarm(s)", out.SDCAlarms)
+		if resilient {
+			fmt.Printf("; %d piece restore(s), %d residual replacement(s), max drift %.3g",
+				out.PieceRestores, out.Replacements, out.MaxDrift)
 		}
+		fmt.Println()
 	}
 
-	// A converged resilient solve has, by construction, verified the true
-	// residual after recovery, so recovered task failures do not fail the
-	// run. A plain solve has no recovery path: any task failure is fatal.
-	// The exit is deferred past the profile output — a failed chaos run is
-	// exactly the one whose trace is worth looking at.
+	// The exit is deferred past the profile output — a failed chaos run
+	// is exactly the one whose trace is worth looking at.
 	failed := false
-	if err := rt.Err(); err != nil && !(resilient && res.Converged) {
-		fmt.Fprintln(os.Stderr, "mmsolve: solve failed:", err)
+	if out.Err != "" {
+		fmt.Fprintln(os.Stderr, "mmsolve: solve failed:", out.Err)
 		failed = true
 	}
 
-	fmt.Printf("solver: %s\n", *solverName)
+	fmt.Printf("solver: %s\n", spec.Solver)
 	fmt.Printf("converged: %v in %d iterations, residual %.3g, true residual %.3g\n",
-		res.Converged, res.Iterations, res.Residual, trueRes)
+		out.Converged, out.Iterations, out.Residual, out.TrueResidual)
 	fmt.Printf("wall time: %v (%.3g s/iteration)\n",
-		elapsed, elapsed.Seconds()/math.Max(1, float64(res.Iterations)))
-	if *rhs == "Aones" && res.Converged && !failed {
+		out.Elapsed, out.Elapsed.Seconds()/math.Max(1, float64(out.Iterations)))
+	if spec.RHS == "Aones" && out.Converged && !failed {
 		var maxErr float64
-		for _, v := range x {
+		for _, v := range out.X {
 			if e := math.Abs(v - 1); e > maxErr {
 				maxErr = e
 			}
@@ -277,116 +207,21 @@ func main() {
 			fmt.Printf("wrote Chrome trace: %s (%d spans)\n", *traceOut, len(spans))
 		}
 	}
-	if res.Breakdown != nil {
-		fmt.Fprintln(os.Stderr, "mmsolve:", res.Breakdown)
+	if out.Breakdown != "" {
+		fmt.Fprintln(os.Stderr, "mmsolve:", out.Breakdown)
 	}
 	// Strict mode: a convergence claim the true residual does not back up
 	// (a drifted recurrence, or silent corruption the run never detected)
 	// is a failure, not a success with a footnote. The 5% slack absorbs
 	// the recompute's own rounding against the solver's stopping test.
-	if *strictRes && res.Converged && trueRes > *tol*1.05 {
+	if *strictRes && out.Converged && out.TrueResidual > spec.Tol*1.05 {
 		fmt.Fprintf(os.Stderr, "mmsolve: convergence claim not backed by true residual %.3g (tol %.3g)\n",
-			trueRes, *tol)
+			out.TrueResidual, spec.Tol)
 		failed = true
 	}
-	if failed || !res.Converged {
+	if failed || !out.Converged {
 		os.Exit(1)
 	}
-}
-
-// hostResidual is ‖b − A·x‖ computed directly from the raw arrays.
-func hostResidual(a sparse.Matrix, x, b []float64) float64 {
-	ax := make([]float64, len(b))
-	sparse.SpMV(a, ax, x)
-	var rr float64
-	for i := range b {
-		d := b[i] - ax[i]
-		rr += d * d
-	}
-	return math.Sqrt(rr)
-}
-
-// loadMatrix reads a Matrix Market file, or generates a 5-point 2D
-// Laplacian stencil when the argument has the form "lap2d:NXxNY" — handy
-// for chaos runs that should not depend on a matrix file being around.
-func loadMatrix(arg string) (*sparse.CSR, error) {
-	if dims, ok := strings.CutPrefix(arg, "lap2d:"); ok {
-		sx, sy, ok := strings.Cut(dims, "x")
-		if !ok {
-			return nil, fmt.Errorf("bad stencil spec %q, want lap2d:NXxNY", arg)
-		}
-		nx, err1 := strconv.ParseInt(sx, 10, 64)
-		ny, err2 := strconv.ParseInt(sy, 10, 64)
-		if err1 != nil || err2 != nil || nx <= 0 || ny <= 0 {
-			return nil, fmt.Errorf("bad stencil spec %q, want lap2d:NXxNY", arg)
-		}
-		return sparse.Laplacian2D(nx, ny), nil
-	}
-	f, err := os.Open(arg)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return sparse.ReadMatrixMarket(f)
-}
-
-// knownSolver reports whether solvers.New accepts the name: the public
-// list plus the unfused ablation variants, which stay usable from the
-// CLI for benchmark reproduction.
-func knownSolver(name string) bool {
-	for _, n := range solvers.Names {
-		if name == n {
-			return true
-		}
-	}
-	switch name {
-	case "cg-unfused", "pcg-unfused", "bicgstab-unfused":
-		return true
-	}
-	return false
-}
-
-func injectedCount(in *fault.Injector) int64 {
-	if in == nil {
-		return 0
-	}
-	return in.Injected()
-}
-
-// solve mirrors solvers.Solve — synchronize on the convergence measure
-// each iteration — but emits a telemetry line per iteration when
-// profiling: residual, cumulative tasks launched and dependence edges,
-// and the graph's critical-path compute cost.
-func solve(s solvers.Solver, rt *taskrt.Runtime, tol float64, maxIter int, telemetry bool) solvers.Result {
-	report := func(iter int, res float64) {
-		st := rt.Stats()
-		g := rt.Graph()
-		fmt.Printf("iter %4d  residual %.6e  tasks %6d  deps %6d  critpath %.3gs\n",
-			iter, res, st.Launched, st.DepEdges, g.CriticalPathCost())
-	}
-	res := math.Sqrt(s.ConvergenceMeasure().Value())
-	if telemetry {
-		report(0, res)
-	}
-	if res <= tol {
-		return solvers.Result{Iterations: 0, Residual: res, Converged: true}
-	}
-	for i := 1; i <= maxIter; i++ {
-		s.Step()
-		res = math.Sqrt(s.ConvergenceMeasure().Value())
-		if telemetry {
-			report(i, res)
-		}
-		if res <= tol || math.IsNaN(res) {
-			return solvers.Result{Iterations: i, Residual: res, Converged: res <= tol}
-		}
-		if bc, ok := s.(solvers.BreakdownChecker); ok {
-			if err := bc.Breakdown(); err != nil {
-				return solvers.Result{Iterations: i, Residual: res, Breakdown: err}
-			}
-		}
-	}
-	return solvers.Result{Iterations: maxIter, Residual: res, Converged: false}
 }
 
 func writeTrace(path string, spans []obs.Span) error {

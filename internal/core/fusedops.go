@@ -478,7 +478,7 @@ func (p *Planner) batchReduce(scratch *region.Region, pieces, stride int, dots [
 			return first
 		}
 	}
-	fut := p.rt.Launch(taskrt.TaskSpec{
+	fut := p.sess.Launch(taskrt.TaskSpec{
 		Name: "dot.batchreduce", Proc: 0,
 		// One tree reduction regardless of k: the scalars ride the same
 		// allreduce message.

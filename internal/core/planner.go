@@ -55,6 +55,13 @@ type Config struct {
 	// matrix tiles between nodes. Returning a negative value keeps the
 	// default placement (the owner of the output piece).
 	MatmulProc func(op, color int) int
+	// Session, if non-nil, makes the planner launch into the given
+	// session of an existing shared runtime instead of creating a fresh
+	// runtime of its own. Every launch, phase label, trace scope, fault
+	// injector, and recorder the planner touches goes through the
+	// session, so many planners — one per concurrent solve — can
+	// multiplex one runtime's worker pool without sharing failure state.
+	Session *taskrt.Session
 }
 
 // component is one domain or range component with its canonical partition
@@ -95,6 +102,7 @@ type opEntry struct {
 // it launches run concurrently under the runtime).
 type Planner struct {
 	rt      *taskrt.Runtime
+	sess    *taskrt.Session
 	mach    machine.Machine
 	mapper  taskrt.Mapper
 	virtual bool
@@ -121,14 +129,21 @@ type Planner struct {
 	sdc *sdcState
 }
 
-// NewPlanner returns an empty planner running on a fresh task runtime.
+// NewPlanner returns an empty planner running on a fresh task runtime,
+// or — when cfg.Session is set — launching into that session of a
+// shared runtime.
 func NewPlanner(cfg Config) *Planner {
 	mapper := cfg.Mapper
 	if mapper == nil {
 		mapper = taskrt.RoundRobinMapper{NumProcs: cfg.Machine.NumProcs()}
 	}
+	sess := cfg.Session
+	if sess == nil {
+		sess = taskrt.New().DefaultSession()
+	}
 	return &Planner{
-		rt:      taskrt.New(),
+		rt:      sess.Runtime(),
+		sess:    sess,
 		mach:    cfg.Machine,
 		mapper:  mapper,
 		virtual: cfg.Virtual,
@@ -137,16 +152,21 @@ func NewPlanner(cfg Config) *Planner {
 	}
 }
 
-// Runtime returns the underlying task runtime (for Drain, Graph, Stats,
-// and trace control).
+// Runtime returns the underlying task runtime (for Graph, Stats, and
+// runtime-wide configuration). With a shared runtime, prefer Session
+// for anything scoped to this planner's solve.
 func (p *Planner) Runtime() *taskrt.Runtime { return p.rt }
+
+// Session returns the session the planner launches into — the default
+// session of its own runtime unless Config.Session bound it elsewhere.
+func (p *Planner) Session() *taskrt.Session { return p.sess }
 
 // BeginPhase tags every task launched from here on with a solver-phase
 // label ("cg.step", "gmres.arnoldi", ...). Labels flow into the recorded
 // graph and any attached obs.Recorder, giving profiles and traces a
 // solver-level grouping on top of task names. An empty label clears the
 // tag.
-func (p *Planner) BeginPhase(label string) { p.rt.SetPhase(label) }
+func (p *Planner) BeginPhase(label string) { p.sess.SetPhase(label) }
 
 // SetTracing turns trace memoization on or off for solvers driving this
 // planner: when on, solver iteration loops bracket each iteration (or
@@ -175,9 +195,9 @@ func (p *Planner) TraceBegin(key string) bool {
 		return false
 	}
 	if p.traceOpen {
-		p.rt.EndTrace()
+		p.sess.EndTrace()
 	}
-	p.rt.BeginTrace(key)
+	p.sess.BeginTrace(key)
 	p.traceOpen = true
 	return true
 }
@@ -185,7 +205,7 @@ func (p *Planner) TraceBegin(key string) bool {
 // TraceEnd closes the trace scope TraceBegin opened, if it opened one.
 func (p *Planner) TraceEnd(began bool) {
 	if began && p.traceOpen {
-		p.rt.EndTrace()
+		p.sess.EndTrace()
 		p.traceOpen = false
 	}
 }
@@ -196,7 +216,7 @@ func (p *Planner) TraceEnd(began bool) {
 // simulated costs already in the graph.
 func (p *Planner) EnableProfiling() *obs.Recorder {
 	rec := obs.NewRecorder()
-	p.rt.SetRecorder(rec)
+	p.sess.SetRecorder(rec)
 	return rec
 }
 
@@ -468,8 +488,9 @@ func (p *Planner) VecData(id VecID, comp int) []float64 {
 	return p.vecs[id].regs[comp].Field("v")
 }
 
-// Drain blocks until all launched tasks complete.
-func (p *Planner) Drain() { p.rt.Drain() }
+// Drain blocks until all tasks launched through this planner's session
+// complete. Other sessions sharing the runtime are not waited on.
+func (p *Planner) Drain() { p.sess.Drain() }
 
 // CheckpointSol deep-copies the storage of every solution component,
 // the planner-level checkpoint a resilient driver restarts from. Call
@@ -558,7 +579,7 @@ func (p *Planner) flushBatch() {
 	if len(p.specBuf) == 0 {
 		return
 	}
-	p.rt.LaunchBatch(p.specBuf)
+	p.sess.LaunchBatch(p.specBuf)
 	for i := range p.specBuf {
 		p.specBuf[i] = taskrt.TaskSpec{}
 	}

@@ -107,7 +107,7 @@ func (p *Planner) ScalarExpr(name string, fn func(vals []float64) float64, args 
 	}
 	// Scalar expressions read their arguments and overwrite their output:
 	// idempotent, hence retryable.
-	out.fut = p.rt.Launch(taskrt.TaskSpec{
+	out.fut = p.sess.Launch(taskrt.TaskSpec{
 		Name: name, Proc: proc, Cost: 0, Refs: refs, Run: run, Host: true,
 		Retryable: true,
 	})

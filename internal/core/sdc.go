@@ -447,7 +447,7 @@ func corruptHook(targets ...corruptTarget) func(fault.Injection) {
 // faultHooks reports whether per-launch corruption hooks should be built:
 // only when an injector is installed, so clean runs pay nothing.
 func (p *Planner) faultHooks() bool {
-	return !p.virtual && p.rt.FaultsActive()
+	return !p.virtual && p.sess.FaultsActive()
 }
 
 // RestoreSolPieces selectively restores the listed solution pieces

@@ -461,7 +461,7 @@ func (p *Planner) Dot(v, w VecID) *Scalar {
 			return sum
 		}
 	}
-	out.fut = p.rt.Launch(taskrt.TaskSpec{
+	out.fut = p.sess.Launch(taskrt.TaskSpec{
 		Name: "dot.reduce", Proc: 0,
 		// The reduce models the MPI_Allreduce tree the real machine pays.
 		Cost: p.mach.AllReduceTime(),

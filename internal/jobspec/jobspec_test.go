@@ -1,0 +1,117 @@
+package jobspec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	s := Default()
+	s.Matrix = "lap2d:8x8"
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+}
+
+// The exact combinations the issue names: -pieces 0, -maxiter -1,
+// -replace-every -5 must each be rejected, and all violations must be
+// reported together in one pass, not one per invocation.
+func TestValidateJoinsAllViolations(t *testing.T) {
+	s := Default()
+	s.Matrix = "lap2d:8x8"
+	s.Pieces = 0
+	s.MaxIter = -1
+	s.ReplaceEvery = -5
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	for _, want := range []string{
+		"pieces must be at least 1, got 0",
+		"maxiter must be at least 1, got -1",
+		"replace-every must not be negative, got -5",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no matrix", func(s *Spec) { s.Matrix = "" }, "matrix is required"},
+		{"bad stencil", func(s *Spec) { s.Matrix = "lap2d:8" }, "bad stencil spec"},
+		{"zero stencil", func(s *Spec) { s.Matrix = "lap2d:0x8" }, "bad stencil spec"},
+		{"unknown solver", func(s *Spec) { s.Solver = "sor" }, "unknown solver"},
+		{"unknown format", func(s *Spec) { s.Format = "hyb" }, "unknown format"},
+		{"bad rhs", func(s *Spec) { s.RHS = "zeros" }, "rhs must be"},
+		{"bad rand seed", func(s *Spec) { s.RHS = "rand:x" }, "integer seed"},
+		{"zero tol", func(s *Spec) { s.Tol = 0 }, "tol must be"},
+		{"negative tol", func(s *Spec) { s.Tol = -1e-8 }, "tol must be"},
+		{"negative retries", func(s *Spec) { s.Retries = -1 }, "retries must not"},
+		{"negative backoff", func(s *Spec) { s.RetryBackoff = -1 }, "retry-backoff"},
+		{"negative checkpoint", func(s *Spec) { s.CheckpointEvery = -2 }, "checkpoint-every"},
+		{"replace without resilient", func(s *Spec) { s.ReplaceEvery = 10 }, "requires the resilient driver"},
+		{"negative watchdog", func(s *Spec) { s.Watchdog = -1 }, "watchdog"},
+		{"bad fault plan", func(s *Spec) { s.Faults = "explode=1" }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Default()
+			s.Matrix = "lap2d:8x8"
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"unfused ablation solver", func(s *Spec) { s.Solver = "cg-unfused" }},
+		{"auto format", func(s *Spec) { s.Format = "auto" }},
+		{"rand rhs", func(s *Spec) { s.RHS = "rand:42" }},
+		{"ones rhs", func(s *Spec) { s.RHS = "ones" }},
+		{"mtx path unchecked until load", func(s *Spec) { s.Matrix = "does-not-exist.mtx" }},
+		{"resilient with replacement", func(s *Spec) { s.CheckpointEvery = 5; s.ReplaceEvery = 10 }},
+		{"fault plan", func(s *Spec) { s.Faults = "panic=0.01,seed=1" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Default()
+			s.Matrix = "lap2d:8x8"
+			tc.mut(&s)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestBuildRHSDeterministic(t *testing.T) {
+	a, err := LoadMatrix("lap2d:6x6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Default()
+	s.RHS = "rand:7"
+	b1 := s.BuildRHS(a, 36)
+	b2 := s.BuildRHS(a, 36)
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatalf("rand rhs not deterministic at %d: %g vs %g", i, b1[i], b2[i])
+		}
+	}
+}

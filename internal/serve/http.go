@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"kdrsolvers/internal/jobspec"
+)
+
+// Handler exposes the server over HTTP:
+//
+//	POST /solve       submit a job (jobspec.Spec JSON body; absent fields
+//	                  take the mmsolve flag defaults). 202 + job view,
+//	                  or 200 + finished job view with ?wait=1.
+//	                  400 invalid spec, 503 queue full / draining
+//	                  (Retry-After set — resubmit later).
+//	GET  /jobs/{id}   job status; result included once done. 404 unknown.
+//	GET  /metrics     cumulative counters, gauges, and runtime stats.
+//	GET  /healthz     200 while accepting, 503 while draining.
+//
+// Submission reuses the CLI's validation verbatim: a flag combination
+// mmsolve rejects with exit 2 is a body this handler rejects with 400,
+// with the same message.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		spec := jobspec.Default()
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		j, err := s.Submit(spec)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			default:
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		status := http.StatusAccepted
+		if r.URL.Query().Get("wait") != "" {
+			<-j.Done()
+			status = http.StatusOK
+		}
+		writeJSON(w, status, j.Snapshot())
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		j, ok := s.Job(id)
+		if !ok {
+			http.Error(w, "unknown job "+id, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

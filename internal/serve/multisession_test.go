@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"kdrsolvers/internal/jobspec"
+	"kdrsolvers/internal/taskrt"
+)
+
+// The multi-tenancy contract, asserted end to end under the race
+// detector: N concurrent solves over ONE shared runtime — mixed
+// solvers, mixed storage formats, one session with a seeded fault plan —
+// must behave exactly as N solo solves on private runtimes. Same
+// iteration counts, same per-session task and dependence-edge counts
+// (no cross-session serialization: a shared scheduler that discovered
+// edges between tenants would inflate DepEdges), and the seeded
+// failure contained to its own session.
+func TestConcurrentSessionsMatchSoloBaselines(t *testing.T) {
+	mk := func(solver, format string, pieces int) jobspec.Spec {
+		s := jobspec.Default()
+		s.Matrix = "lap2d:16x16"
+		s.Solver = solver
+		s.Format = format
+		s.Pieces = pieces
+		s.Tol = 1e-8
+		return s
+	}
+	specs := []jobspec.Spec{
+		mk("cg", "csr", 4),
+		mk("bicgstab", "dia", 2),
+		mk("minres", "coo", 4),
+		mk("gmres", "ell", 2),
+		mk("pcg", "csr", 4),
+		mk("cgs", "csc", 2),
+	}
+	// One tenant runs a hostile fault plan with no retries and no
+	// resilient driver: it must fail, and no one else may notice.
+	faulted := mk("cg", "csr", 4)
+	faulted.Faults = "panic=0.05,seed=3"
+	specs = append(specs, faulted)
+	faultedIdx := len(specs) - 1
+
+	a, err := jobspec.LoadMatrix("lap2d:16x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Solo baselines: each spec alone on a private runtime. Tracing off
+	// on both sides so the launch accounting is schedule-independent.
+	solo := make([]JobResult, len(specs))
+	for i, sp := range specs {
+		rt := taskrt.New()
+		solo[i] = RunSolve(a, sp, Options{Session: rt.DefaultSession()})
+	}
+	if solo[faultedIdx].Err == "" {
+		t.Fatal("seeded-fault solo baseline did not fail; the containment half of this test would be vacuous")
+	}
+	for i, r := range solo[:faultedIdx] {
+		if !r.Converged || r.Err != "" {
+			t.Fatalf("solo baseline %s/%s: converged=%v err=%q", specs[i].Solver, specs[i].Format, r.Converged, r.Err)
+		}
+	}
+
+	// The same specs, concurrently, one shared runtime, one session each.
+	rt := taskrt.New()
+	shared := make([]JobResult, len(specs))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp jobspec.Spec) {
+			defer wg.Done()
+			sess := rt.NewSession(sp.Solver + "-" + sp.Format)
+			defer sess.Close()
+			shared[i] = RunSolve(a, sp, Options{Session: sess})
+		}(i, sp)
+	}
+	wg.Wait()
+	rt.Drain()
+
+	for i, sp := range specs {
+		got, want := shared[i], solo[i]
+		if got.Iterations != want.Iterations {
+			t.Errorf("%s/%s: %d iterations shared vs %d solo — tenants perturbed each other's numerics",
+				sp.Solver, sp.Format, got.Iterations, want.Iterations)
+		}
+		if got.Session.Launched != want.Session.Launched {
+			t.Errorf("%s/%s: launched %d shared vs %d solo", sp.Solver, sp.Format,
+				got.Session.Launched, want.Session.Launched)
+		}
+		if got.Session.DepEdges != want.Session.DepEdges {
+			t.Errorf("%s/%s: dep edges %d shared vs %d solo — cross-session serialization",
+				sp.Solver, sp.Format, got.Session.DepEdges, want.Session.DepEdges)
+		}
+		if i == faultedIdx {
+			if got.Err == "" {
+				t.Error("seeded-fault session lost its failure in the shared run")
+			}
+			if got.Session.Failed == 0 {
+				t.Error("seeded-fault session reports no failed tasks")
+			}
+			continue
+		}
+		if got.Err != "" {
+			t.Errorf("%s/%s: clean tenant polluted: %s", sp.Solver, sp.Format, got.Err)
+		}
+		if !got.Converged {
+			t.Errorf("%s/%s: did not converge in shared run", sp.Solver, sp.Format)
+		}
+		// Bitwise-identical numerics: within a session the task graph
+		// fixes all evaluation orders, so tenant interleaving must not
+		// move the result at all.
+		if got.TrueResidual != want.TrueResidual {
+			t.Errorf("%s/%s: true residual %g shared vs %g solo",
+				sp.Solver, sp.Format, got.TrueResidual, want.TrueResidual)
+		}
+		if got.Session.Failed != 0 || got.Session.Poisoned != 0 {
+			t.Errorf("%s/%s: clean tenant counted failures %+v", sp.Solver, sp.Format, got.Session)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"kdrsolvers/internal/jobspec"
+)
+
+func testSpec(mut func(*jobspec.Spec)) jobspec.Spec {
+	s := jobspec.Default()
+	s.Matrix = "lap2d:16x16"
+	s.Solver = "cg"
+	s.Pieces = 4
+	if mut != nil {
+		mut(&s)
+	}
+	return s
+}
+
+func TestServerSolvesConcurrently(t *testing.T) {
+	s := NewServer(Config{MaxActive: 4, QueueDepth: 32, CoalesceMax: 1})
+	defer s.Drain()
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit(testSpec(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		r := j.Result()
+		if !r.Converged || r.Err != "" {
+			t.Fatalf("job %s: converged=%v err=%q", j.ID, r.Converged, r.Err)
+		}
+		if r.TrueResidual > 1.05e-8 {
+			t.Fatalf("job %s: true residual %g", j.ID, r.TrueResidual)
+		}
+	}
+	m := s.Metrics()
+	if m.Completed != 8 || m.Failed != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestServerRejectsInvalidSpec(t *testing.T) {
+	s := NewServer(Config{})
+	defer s.Drain()
+	_, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Pieces = 0; sp.MaxIter = -1 }))
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	for _, want := range []string{"pieces must be", "maxiter must be"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if s.Metrics().RejectedInvalid != 1 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+// Queue admission is bounded: with workers wedged on a slow matrix load
+// the queue fills, and the next submission gets ErrQueueFull instead of
+// unbounded growth.
+func TestServerQueueBound(t *testing.T) {
+	s := NewServer(Config{MaxActive: 1, QueueDepth: 2, CoalesceMax: 1})
+	defer s.Drain()
+	// A big job to occupy the single worker, then fill the queue.
+	if _, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Matrix = "lap2d:64x64" })); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct tols so the queued pair can't be coalesced away even if
+	// config changes; they just wait.
+	var lastErr error
+	full := 0
+	for i := 0; i < 8; i++ {
+		_, lastErr = s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Tol = 1e-6 / float64(i+1) }))
+		if lastErr != nil {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatal("queue never filled")
+	}
+	if lastErr != ErrQueueFull {
+		t.Fatalf("err = %v, want ErrQueueFull", lastErr)
+	}
+	if s.Metrics().RejectedFull == 0 {
+		t.Fatal("queue-full rejection not counted")
+	}
+}
+
+// Coalesced same-operator jobs produce the same per-job answers a solo
+// run would, and the batch actually forms.
+func TestServerCoalescesSameOperatorJobs(t *testing.T) {
+	solo := func() JobResult {
+		s := NewServer(Config{MaxActive: 1, CoalesceMax: 1})
+		defer s.Drain()
+		j, err := s.Submit(testSpec(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *j.Result()
+	}()
+
+	s := NewServer(Config{MaxActive: 1, QueueDepth: 32, CoalesceMax: 8})
+	defer s.Drain()
+	// Wedge the worker so the compatible group queues up behind it.
+	blocker, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Matrix = "lap2d:48x48" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var group []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(testSpec(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		group = append(group, j)
+	}
+	blocker.Result()
+	for _, j := range group {
+		r := j.Result()
+		if !r.Converged || r.Err != "" {
+			t.Fatalf("coalesced job %s failed: %+v", j.ID, r)
+		}
+		if r.Coalesced != 4 {
+			t.Fatalf("job %s ran in batch of %d, want 4", j.ID, r.Coalesced)
+		}
+		// Identical spec, identical RHS: the block solve must reproduce
+		// the solo solution.
+		if r.TrueResidual > 1.05e-8 {
+			t.Fatalf("coalesced job %s: true residual %g", j.ID, r.TrueResidual)
+		}
+		for i, v := range r.X {
+			if dv := v - solo.X[i]; dv > 1e-9 || dv < -1e-9 {
+				t.Fatalf("coalesced solution diverges from solo at %d: %g vs %g", i, v, solo.X[i])
+			}
+		}
+	}
+	m := s.Metrics()
+	if m.Batches != 1 || m.CoalescedJobs != 4 {
+		t.Fatalf("batches=%d coalesced=%d, want 1/4", m.Batches, m.CoalescedJobs)
+	}
+}
+
+// A faulted tenant and clean tenants on the SAME server: failure stays
+// in its session.
+func TestServerContainsFaultedTenant(t *testing.T) {
+	s := NewServer(Config{MaxActive: 2, CoalesceMax: 1})
+	defer s.Drain()
+	bad, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Faults = "panic=0.05,seed=3" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean []*Job
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(testSpec(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean = append(clean, j)
+	}
+	if r := bad.Result(); r.Err == "" {
+		t.Fatal("faulted job reported no error")
+	}
+	for _, j := range clean {
+		if r := j.Result(); !r.Converged || r.Err != "" || r.Session.Failed != 0 {
+			t.Fatalf("clean tenant polluted: %+v", r)
+		}
+	}
+	if m := s.Metrics(); m.Failed != 1 {
+		t.Fatalf("Failed = %d, want exactly the faulted job", m.Failed)
+	}
+}
+
+// Same operator + gcrodr: later jobs warm-start from the shared recycle
+// cache and converge in fewer iterations.
+func TestServerSharesRecycleCache(t *testing.T) {
+	s := NewServer(Config{MaxActive: 1, CoalesceMax: 1})
+	defer s.Drain()
+	spec := testSpec(func(sp *jobspec.Spec) {
+		sp.Solver = "gcrodr"
+		sp.Matrix = "lap2d:20x20"
+		sp.Tol = 1e-8
+	})
+	j1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := j1.Result()
+	j2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := j2.Result()
+	if !r1.Converged || !r2.Converged {
+		t.Fatalf("gcrodr jobs failed: %v / %v", r1.Converged, r2.Converged)
+	}
+	if r2.Iterations > r1.Iterations {
+		t.Fatalf("recycled job took %d iterations vs %d cold — shared cache not hit",
+			r2.Iterations, r1.Iterations)
+	}
+}
+
+// Drain: in-flight jobs finish, queued jobs come back retryable, new
+// submissions are refused.
+func TestServerDrain(t *testing.T) {
+	s := NewServer(Config{MaxActive: 1, QueueDepth: 16, CoalesceMax: 1})
+	inflight, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Matrix = "lap2d:48x48" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for inflight.Snapshot().State != StateRunning {
+		runtime.Gosched() // drain must see it in flight, not queued
+	}
+	queued, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Tol = 1e-6 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); s.Drain() }()
+	qr := queued.Result()
+	if !qr.Retryable || qr.Err == "" {
+		t.Fatalf("queued job at drain = %+v, want retryable rejection", qr)
+	}
+	ir := inflight.Result()
+	if ir.Retryable || !ir.Converged {
+		t.Fatalf("in-flight job at drain = %+v, want a finished solve", ir)
+	}
+	wg.Wait()
+	if _, err := s.Submit(testSpec(nil)); err != ErrDraining {
+		t.Fatalf("post-drain Submit err = %v, want ErrDraining", err)
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := NewServer(Config{MaxActive: 2})
+	defer s.Drain()
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	// Submit with wait: the response carries the finished result.
+	resp, err := http.Post(ts.URL+"/solve?wait=1", "application/json",
+		strings.NewReader(`{"matrix":"lap2d:16x16","solver":"cg","pieces":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.State != StateDone || view.Result == nil || !view.Result.Converged {
+		t.Fatalf("view = %+v", view)
+	}
+
+	// The job stays queryable.
+	resp, err = http.Get(ts.URL + "/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s = %d", view.ID, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown job: 404.
+	resp, _ = http.Get(ts.URL + "/jobs/job-999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The CLI's invalid flag combinations are this API's 400s, with the
+	// same validation messages.
+	resp, err = http.Post(ts.URL+"/solve", "application/json",
+		strings.NewReader(`{"matrix":"lap2d:16x16","pieces":0,"maxiter":-1,"replace_every":-5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"pieces must be", "maxiter must be", "replace-every must not"} {
+		if !strings.Contains(string(body[:n]), want) {
+			t.Errorf("400 body missing %q: %s", want, body[:n])
+		}
+	}
+
+	// Metrics is live JSON.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Completed < 1 || m.RejectedInvalid != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

@@ -21,16 +21,43 @@ import (
 // operator (examples/relatedsystems, examples/multirhs) warm-start each
 // solve with the previous one's deflation space.
 
+// maxRecycleEntries bounds the cache: a server recycling across many
+// distinct operators keeps the most recently used spaces instead of
+// growing without bound (each entry holds k dense vectors).
+const maxRecycleEntries = 32
+
+// recycleEntry is one cached space with its last-use tick for LRU
+// eviction.
+type recycleEntry struct {
+	u    [][]float64
+	used int64
+}
+
 // RecycleCache carries harvested recycle spaces between solves, keyed by
-// operator identity. Safe for concurrent use.
+// operator identity. Safe for concurrent use: loads take a read lock and
+// deep-copy the space, so a solve reading a warm start can never observe
+// a concurrent store mutating it, and concurrent GCRO-DR sessions sharing
+// one cache do not race. The cache holds at most maxRecycleEntries
+// spaces; storing past the bound evicts the least recently used one.
 type RecycleCache struct {
-	mu      sync.Mutex
-	entries map[string][][]float64
+	mu      sync.RWMutex
+	entries map[string]*recycleEntry
+	clock   int64
 }
 
 // NewRecycleCache returns an empty cross-solve recycle store.
 func NewRecycleCache() *RecycleCache {
-	return &RecycleCache{entries: map[string][][]float64{}}
+	return &RecycleCache{entries: map[string]*recycleEntry{}}
+}
+
+// Len returns the number of cached spaces.
+func (c *RecycleCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
 }
 
 func (c *RecycleCache) load(fp string) [][]float64 {
@@ -39,16 +66,47 @@ func (c *RecycleCache) load(fp string) [][]float64 {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.entries[fp]
+	e := c.entries[fp]
+	if e == nil {
+		return nil
+	}
+	c.clock++
+	e.used = c.clock
+	out := make([][]float64, len(e.u))
+	for i := range e.u {
+		out[i] = append([]float64(nil), e.u[i]...)
+	}
+	return out
 }
 
 func (c *RecycleCache) store(fp string, u [][]float64) {
 	if c == nil {
 		return
 	}
+	cp := make([][]float64, len(u))
+	for i := range u {
+		cp[i] = append([]float64(nil), u[i]...)
+	}
 	c.mu.Lock()
-	c.entries[fp] = u
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	c.clock++
+	if e := c.entries[fp]; e != nil {
+		e.u = cp
+		e.used = c.clock
+		return
+	}
+	if len(c.entries) >= maxRecycleEntries {
+		var lruKey string
+		lru := int64(math.MaxInt64)
+		for k, e := range c.entries {
+			if e.used < lru {
+				lru = e.used
+				lruKey = k
+			}
+		}
+		delete(c.entries, lruKey)
+	}
+	c.entries[fp] = &recycleEntry{u: cp, used: c.clock}
 }
 
 // GCRODR is the recycling solver. A nil cache still performs deflated

@@ -116,12 +116,22 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	rt := p.Runtime()
+	sess := p.Session()
+
+	// clearRecovered empties the session's error window once a rollback
+	// (or selective restore) has provably recovered — the state just
+	// verified against the true residual. Without this, a long-running
+	// session keeps reporting failures it already absorbed.
+	clearRecovered := func(when string) {
+		if n := sess.ClearErrs(); n > 0 {
+			logf("resilient: cleared %d recovered task failure(s) at %s", n, when)
+		}
+	}
 
 	var mon *core.SDCMonitor
 	if cfg.DetectSDC {
 		mon = p.EnableSDCDetection(0)
-		if rec := rt.Recorder(); rec != nil {
+		if rec := sess.Recorder(); rec != nil {
 			mon.SetRecorder(rec) // alarms show up in profiles as FailureSDC
 		}
 	}
@@ -136,7 +146,7 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 	}
 
 	var out ResilientResult
-	failedBase := rt.Stats().Failed
+	failedBase := sess.Stats().Failed
 	noteDrift := func(rep ReplacementReport) {
 		if isFinite(rep.Drift) && rep.Drift > out.MaxDrift {
 			out.MaxDrift = rep.Drift
@@ -269,7 +279,10 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 					out.Converged = true
 					out.Residual, out.TrueResidual = rn, rn
 					out.Iterations = iter
-					out.RecoveredFailures = rt.Stats().Failed - failedBase
+					out.RecoveredFailures = sess.Stats().Failed - failedBase
+					if out.RecoveredFailures > 0 {
+						clearRecovered("verified convergence")
+					}
 					return out
 				}
 				logf("resilient: recurrence residual %.3g but true residual %.3g; continuing", res, rn)
@@ -299,12 +312,13 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 				if rn < best {
 					best = rn
 				}
+				clearRecovered("verified checkpoint")
 				logf("resilient: checkpoint at iter %d, true residual %.3g", iter, rn)
 			}
 		}
 
 		out.Iterations = iter
-		out.RecoveredFailures = rt.Stats().Failed - failedBase
+		out.RecoveredFailures = sess.Stats().Failed - failedBase
 		if bad == "" { // iteration budget exhausted
 			p.Drain()
 			tr := trueResidual()

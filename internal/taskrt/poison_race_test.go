@@ -114,7 +114,7 @@ func TestMidFlightFailurePoisonsLateWiredConsumers(t *testing.T) {
 	// Err, so recovery launches (SolveResilient's checkpoint restore)
 	// start from a clean slate exactly as before the fix.
 	rt.mu.Lock()
-	ledger := len(rt.failed)
+	ledger := len(rt.def.failed)
 	rt.mu.Unlock()
 	if ledger != 0 {
 		t.Errorf("failure ledger holds %d entries after quiescence", ledger)
@@ -200,7 +200,7 @@ func TestPoisonLedgerHammer(t *testing.T) {
 		t.Error("hammer never exercised the poison path")
 	}
 	rt.mu.Lock()
-	ledger := len(rt.failed)
+	ledger := len(rt.def.failed)
 	rt.mu.Unlock()
 	if ledger != 0 {
 		t.Errorf("failure ledger holds %d entries after drain", ledger)

@@ -317,7 +317,8 @@ type taskState struct {
 	succs     []*taskState
 	wired     bool // dependence wiring finished; eligible to run at pending==0
 	rec       *obs.Recorder
-	launch    float64 // recorder time at launch (valid when rec != nil)
+	sess      *Session // the session that launched the task
+	launch    float64  // recorder time at launch (valid when rec != nil)
 	retryable bool
 	inj       fault.Injection
 	corrupt   func(fault.Injection)
@@ -380,27 +381,15 @@ type Runtime struct {
 	nextFlush int64          // next task ID to append to graph.Nodes
 	held      map[int64]Node // finalized nodes waiting on smaller IDs
 	stats     Stats
-	wg        sync.WaitGroup
-	workers   chan int // pool of worker IDs; len = concurrency limit
-	traces    map[string]*traceTmpl
-	trace     *activeTrace
-	atScratch *activeTrace // recycled activeTrace (one scope at a time)
-	atEpoch   int64        // bumped per BeginTrace; disambiguates reuse
-	errs      []error      // permanent task failures, in completion order
-	// inflight counts tasks between registration and completion, and
-	// failed is the poison ledger for that window: the wrapped poison of
-	// every failure whose effects a concurrently-launching client cannot
-	// have observed yet. A launch wiring onto a dead predecessor consults
-	// the ledger (see finishLocked); the ledger clears when the runtime
-	// quiesces, because a failure the client could have drained is a
-	// handled failure.
-	inflight int64
-	failed   map[int64]error
-	rec      *obs.Recorder
-	phase    string
-	retry    RetryPolicy
-	injector *fault.Injector
-	watchdog time.Duration
+	wg      sync.WaitGroup
+	workers chan int // pool of worker IDs; len = concurrency limit
+	// def is the built-in session the runtime-level session-scoped
+	// methods (SetPhase, Err, BeginTrace, SetFaultInjector, ...) operate
+	// on; sessions lists every live session, def first. The error
+	// window, poison ledger, quiescence tracking, phase label, trace
+	// state, injector, and recorder all live per session — see Session.
+	def      *Session
+	sessions []*Session
 
 	// retain controls graph retention (on by default): when off, launches
 	// skip Node construction entirely — the zero-allocation configuration
@@ -434,10 +423,14 @@ func New() *Runtime {
 		tasks:   make(map[int64]*taskState),
 		held:    make(map[int64]Node),
 		workers: workers,
-		traces:  make(map[string]*traceTmpl),
 		retain:  true,
-		failed:  make(map[int64]error),
 	}
+	rt.def = &Session{
+		rt:     rt,
+		failed: make(map[int64]error),
+		traces: make(map[string]*traceTmpl),
+	}
+	rt.sessions = []*Session{rt.def}
 	rt.tsPool.New = func() any {
 		ts := &taskState{}
 		ts.exec = func() { rt.execute(ts) }
@@ -449,72 +442,47 @@ func New() *Runtime {
 	return rt
 }
 
-// SetRecorder attaches an observability recorder: every task executed
-// from now on records a wall-clock span (launch, start, end, worker,
-// outcome) and failures are reported as telemetry. A nil recorder
-// disables recording. Tasks launched before the call are not back-filled.
-func (rt *Runtime) SetRecorder(r *obs.Recorder) {
-	rt.mu.Lock()
-	rt.rec = r
-	rt.mu.Unlock()
-}
+// SetRecorder attaches an observability recorder to the default
+// session: every task it executes from now on records a wall-clock span
+// (launch, start, end, worker, outcome) and failures are reported as
+// telemetry. A nil recorder disables recording. Tasks launched before
+// the call are not back-filled.
+func (rt *Runtime) SetRecorder(r *obs.Recorder) { rt.def.SetRecorder(r) }
 
-// Recorder returns the attached recorder, or nil.
-func (rt *Runtime) Recorder() *obs.Recorder {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.rec
-}
+// Recorder returns the default session's recorder, or nil.
+func (rt *Runtime) Recorder() *obs.Recorder { return rt.def.Recorder() }
 
-// SetRetryPolicy bounds re-execution of retryable task bodies: a task
-// whose body panics is re-run (after backoff) until it succeeds or the
-// attempt cap is reached, at which point the failure becomes permanent.
-// The policy applies to tasks executed after the call.
-func (rt *Runtime) SetRetryPolicy(p RetryPolicy) {
-	rt.mu.Lock()
-	rt.retry = p
-	rt.mu.Unlock()
-}
+// SetRetryPolicy bounds re-execution of the default session's retryable
+// task bodies: a task whose body panics is re-run (after backoff) until
+// it succeeds or the attempt cap is reached, at which point the failure
+// becomes permanent. The policy applies to tasks executed after the
+// call.
+func (rt *Runtime) SetRetryPolicy(p RetryPolicy) { rt.def.SetRetryPolicy(p) }
 
-// SetFaultInjector installs a fault injector consulted once per launch,
-// under the launch lock, so a single-threaded launcher gets a
-// deterministic fault schedule. A nil injector disables injection.
-func (rt *Runtime) SetFaultInjector(in *fault.Injector) {
-	rt.mu.Lock()
-	rt.injector = in
-	rt.mu.Unlock()
-}
+// SetFaultInjector installs a fault injector on the default session,
+// consulted once per launch, under the launch lock, so a
+// single-threaded launcher gets a deterministic fault schedule. A nil
+// injector disables injection.
+func (rt *Runtime) SetFaultInjector(in *fault.Injector) { rt.def.SetFaultInjector(in) }
 
-// FaultsActive reports whether a fault injector is installed. Planner
-// layers use it to skip building per-launch corruption hooks on clean
-// runs.
-func (rt *Runtime) FaultsActive() bool {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.injector != nil
-}
+// FaultsActive reports whether the default session has a fault
+// injector. Planner layers use it to skip building per-launch
+// corruption hooks on clean runs.
+func (rt *Runtime) FaultsActive() bool { return rt.def.FaultsActive() }
 
-// SetWatchdog flags tasks whose execution exceeds budget: Stats.Stragglers
-// is incremented and a "straggler" failure record goes to the attached
-// recorder. The task itself is not interrupted (goroutines cannot be
-// killed safely); the flag is the signal a scheduler or operator acts on.
-// The budget covers one execution attempt: it is re-armed per retry, so
-// backoff sleeps between attempts do not count against it. A zero budget
-// disables the watchdog.
-func (rt *Runtime) SetWatchdog(budget time.Duration) {
-	rt.mu.Lock()
-	rt.watchdog = budget
-	rt.mu.Unlock()
-}
+// SetWatchdog flags the default session's tasks whose execution exceeds
+// budget: Stats.Stragglers is incremented and a "straggler" failure
+// record goes to the attached recorder. The task itself is not
+// interrupted (goroutines cannot be killed safely); the flag is the
+// signal a scheduler or operator acts on. The budget covers one
+// execution attempt: it is re-armed per retry, so backoff sleeps between
+// attempts do not count against it. A zero budget disables the watchdog.
+func (rt *Runtime) SetWatchdog(budget time.Duration) { rt.def.SetWatchdog(budget) }
 
-// SetPhase labels subsequently launched tasks with a solver-phase name
-// (recorded on Node.Phase and in spans). Specs carrying their own Phase
-// override it.
-func (rt *Runtime) SetPhase(label string) {
-	rt.mu.Lock()
-	rt.phase = label
-	rt.mu.Unlock()
-}
+// SetPhase labels the default session's subsequently launched tasks
+// with a solver-phase name (recorded on Node.Phase and in spans). Specs
+// carrying their own Phase override it.
+func (rt *Runtime) SetPhase(label string) { rt.def.SetPhase(label) }
 
 // SetGraphRetention enables or disables recording of launched tasks into
 // the Graph (on by default). Retention off removes the last per-launch
@@ -597,6 +565,7 @@ func (rt *Runtime) recycle(ts *taskState) {
 	ts.run = nil
 	ts.future = nil
 	ts.rec = nil
+	ts.sess = nil
 	ts.poison = nil
 	ts.at = nil
 	ts.inj = fault.Injection{}
@@ -619,37 +588,39 @@ func (rt *Runtime) recycle(ts *taskState) {
 	rt.tsPool.Put(ts)
 }
 
-// prepLocked is launch phase 1: assign the ID, consult the tracer,
-// enqueue per-key tickets, and register the task so later launches can
-// wire onto it. Caller holds rt.mu.
-func (rt *Runtime) prepLocked(spec *TaskSpec, ts *taskState) {
+// prepLocked is launch phase 1: assign the ID, consult the session's
+// tracer, enqueue per-key tickets, and register the task so later
+// launches can wire onto it. Caller holds rt.mu.
+func (rt *Runtime) prepLocked(sess *Session, spec *TaskSpec, ts *taskState) {
 	id := rt.nextID
 	rt.nextID++
 	ts.id = id
+	ts.sess = sess
 	ts.phase = spec.Phase
 	if ts.phase == "" {
-		ts.phase = rt.phase
+		ts.phase = sess.phase
 	}
 	ts.splice = false
 	ts.scans = 0
 	ts.at = nil
-	if rt.trace != nil {
-		ts.at = rt.trace
-		ts.atEpoch = rt.atEpoch
-		ts.trPos = rt.trace.n
-		rt.traceObserve(*spec, ts)
+	if sess.trace != nil {
+		ts.at = sess.trace
+		ts.atEpoch = sess.atEpoch
+		ts.trPos = sess.trace.n
+		sess.traceObserve(*spec, ts)
 	}
 	ts.groups = rt.groupKeys(id, spec.Refs, ts.groups)
-	if rt.injector != nil {
-		ts.inj = rt.injector.Decide(spec.Name, ts.phase, spec.Piece-1)
+	if sess.injector != nil {
+		ts.inj = sess.injector.Decide(spec.Name, ts.phase, spec.Piece-1)
 	}
-	ts.rec = rt.rec
+	ts.rec = sess.rec
 	if ts.rec != nil {
 		ts.launch = ts.rec.Now()
 	}
 	rt.tasks[id] = ts
-	rt.inflight++
+	sess.inflight++
 	rt.wg.Add(1)
+	sess.wg.Add(1)
 }
 
 // resolveDeps is launch phase 2 (per-key shard locks, in ticket order):
@@ -721,10 +692,12 @@ func (rt *Runtime) finishLocked(spec *TaskSpec, ts *taskState) bool {
 	rt.stats.Launched++
 	rt.stats.DepEdges += int64(len(ts.deps))
 	rt.stats.AnalysisScans += int64(ts.scans)
+	ts.sess.stats.Launched++
+	ts.sess.stats.DepEdges += int64(len(ts.deps))
 	if ts.splice {
 		rt.stats.TraceReplays++
-	} else if ts.at != nil && rt.trace == ts.at && rt.atEpoch == ts.atEpoch {
-		rt.traceRecordAnalyzed(ts.trPos, ts.deps, ts.bytes)
+	} else if ts.at != nil && ts.sess.trace == ts.at && ts.sess.atEpoch == ts.atEpoch {
+		ts.sess.traceRecordAnalyzed(ts.trPos, ts.deps, ts.bytes)
 	}
 	ts.at = nil
 	if rt.retain {
@@ -747,17 +720,19 @@ func (rt *Runtime) finishLocked(spec *TaskSpec, ts *taskState) bool {
 		if pred, live := rt.tasks[d]; live {
 			pred.succs = append(pred.succs, ts)
 			ts.pending++
-		} else if perr, ok := rt.failed[d]; ok && ts.poison == nil {
+		} else if perr, ok := ts.sess.failed[d]; ok && ts.poison == nil {
 			// The predecessor completed in failure while this launch was
 			// still in flight — in a batch's unlocked resolve phase, or
 			// racing another goroutine's launch. The client cannot have
 			// observed that failure yet (no Drain happened between the
 			// failure and this launch), so the task must be poisoned, not
-			// run on a garbage region. The ledger clears at quiescence
-			// (inflight == 0 in complete): a failure the client could have
+			// run on a garbage region. The ledger is per session and
+			// clears at the session's quiescence (sess.inflight == 0 in
+			// complete): a failure the session's client could have
 			// drained is a handled failure (seen via Err and recovered,
 			// e.g. SolveResilient's checkpoint restore), so tasks launched
-			// after that start from a clean slate as before.
+			// after that start from a clean slate — independent of
+			// whether other tenants keep the runtime busy forever.
 			ts.poison = perr
 		}
 	}
@@ -765,20 +740,22 @@ func (rt *Runtime) finishLocked(spec *TaskSpec, ts *taskState) bool {
 	return ts.pending == 0
 }
 
-// Launch submits a task. Dependence analysis against previously launched
-// tasks happens immediately — in parallel across history keys for
-// concurrent launchers, or spliced from a memoized trace template when
-// the launch replays a recorded trace — and execution happens
-// asynchronously once all dependences complete. The returned future
-// delivers Run's result (nil for a Detached spec).
-func (rt *Runtime) Launch(spec TaskSpec) *Future {
+// Launch submits a task under the default session. Dependence analysis
+// against previously launched tasks happens immediately — in parallel
+// across history keys for concurrent launchers, or spliced from a
+// memoized trace template when the launch replays a recorded trace —
+// and execution happens asynchronously once all dependences complete.
+// The returned future delivers Run's result (nil for a Detached spec).
+func (rt *Runtime) Launch(spec TaskSpec) *Future { return rt.launch(rt.def, spec) }
+
+func (rt *Runtime) launch(sess *Session, spec TaskSpec) *Future {
 	start := time.Now()
 	sc := rt.scPool.Get().(*launchScratch)
 	ts := rt.newTaskState(&spec)
 	fut := ts.future
 
 	rt.mu.Lock()
-	rt.prepLocked(&spec, ts)
+	rt.prepLocked(sess, &spec, ts)
 	rt.mu.Unlock()
 
 	rt.resolveDeps(&spec, ts, sc)
@@ -802,15 +779,18 @@ func (rt *Runtime) Launch(spec TaskSpec) *Future {
 	return fut
 }
 
-// LaunchBatch submits a slice of tasks as one fused sweep: the runtime
-// lock is taken once for the whole batch's registration and once for its
-// wiring, instead of twice per task, and the per-key ticket protocol
-// still sees strictly ascending IDs because the batch registers in slice
-// order under a single lock acquisition. Dependences among batch members
-// work exactly as under individual launches. Returns the futures in spec
-// order, or a nil slice when every spec is Detached — the zero-allocation
-// fast path for solver sweeps that never read their futures.
-func (rt *Runtime) LaunchBatch(specs []TaskSpec) []*Future {
+// LaunchBatch submits a slice of tasks as one fused sweep under the
+// default session: the runtime lock is taken once for the whole batch's
+// registration and once for its wiring, instead of twice per task, and
+// the per-key ticket protocol still sees strictly ascending IDs because
+// the batch registers in slice order under a single lock acquisition.
+// Dependences among batch members work exactly as under individual
+// launches. Returns the futures in spec order, or a nil slice when
+// every spec is Detached — the zero-allocation fast path for solver
+// sweeps that never read their futures.
+func (rt *Runtime) LaunchBatch(specs []TaskSpec) []*Future { return rt.launchBatch(rt.def, specs) }
+
+func (rt *Runtime) launchBatch(sess *Session, specs []TaskSpec) []*Future {
 	if len(specs) == 0 {
 		return nil
 	}
@@ -830,7 +810,7 @@ func (rt *Runtime) LaunchBatch(specs []TaskSpec) []*Future {
 	rt.mu.Lock()
 	for i := range specs {
 		ts := rt.newTaskState(&specs[i])
-		rt.prepLocked(&specs[i], ts)
+		rt.prepLocked(sess, &specs[i], ts)
 		states = append(states, ts)
 		if futs != nil {
 			futs[i] = ts.future
@@ -887,8 +867,8 @@ func (rt *Runtime) LaunchBatch(specs []TaskSpec) []*Future {
 func (rt *Runtime) execute(ts *taskState) {
 	rt.mu.Lock()
 	poison := ts.poison
-	policy := rt.retry
-	budget := rt.watchdog
+	policy := ts.sess.retry
+	budget := ts.sess.watchdog
 	rt.mu.Unlock()
 
 	if poison != nil {
@@ -897,6 +877,7 @@ func (rt *Runtime) execute(ts *taskState) {
 		// would have been.
 		rt.mu.Lock()
 		rt.stats.Poisoned++
+		ts.sess.stats.Poisoned++
 		rt.mu.Unlock()
 		if ts.rec != nil {
 			now := ts.rec.Now()
@@ -967,12 +948,14 @@ func (rt *Runtime) execute(ts *taskState) {
 				ts.id, ts.name, attempt+1, err)
 			rt.mu.Lock()
 			rt.stats.Failed++
-			rt.errs = append(rt.errs, err)
+			ts.sess.stats.Failed++
+			ts.sess.pushErr(err)
 			rt.mu.Unlock()
 			break
 		}
 		rt.mu.Lock()
 		rt.stats.Retries++
+		ts.sess.stats.Retries++
 		rt.mu.Unlock()
 		if policy.Backoff > 0 {
 			time.Sleep(backoffDelay(policy.Backoff, attempt))
@@ -1017,8 +1000,10 @@ func (rt *Runtime) complete(ts *taskState, val float64, err error) {
 		// registered before this completion but not yet wired (a batch's
 		// unlocked resolve phase, or a concurrent launcher) finds no live
 		// predecessor in rt.tasks and must pick the poison up from this
-		// ledger instead of silently running on a failed region.
-		rt.failed[ts.id] = poisonErr
+		// ledger instead of silently running on a failed region. The
+		// ledger is per session so one tenant's failure never poisons
+		// another tenant's launches.
+		ts.sess.failed[ts.id] = poisonErr
 	}
 	ready := ts.ready[:0]
 	for _, s := range ts.succs {
@@ -1031,12 +1016,15 @@ func (rt *Runtime) complete(ts *taskState, val float64, err error) {
 		}
 	}
 	ts.ready = ready
-	rt.inflight--
-	if rt.inflight == 0 {
-		// Quiescence: every registered task has completed, so any failure
-		// recorded above has been observable via Err. Clear the ledger so
-		// recovery launches (checkpoint restore and the like) start clean.
-		clear(rt.failed)
+	sess := ts.sess
+	sess.inflight--
+	if sess.inflight == 0 {
+		// Session quiescence: every task the session registered has
+		// completed, so any failure recorded above has been observable via
+		// its Err. Clear the ledger so recovery launches (checkpoint
+		// restore and the like) start clean — independent of whether other
+		// sessions keep the runtime busy forever.
+		clear(sess.failed)
 	}
 	rt.mu.Unlock()
 
@@ -1046,6 +1034,7 @@ func (rt *Runtime) complete(ts *taskState, val float64, err error) {
 	}
 	ts.ready = ts.ready[:0]
 	noRecycle := ts.noRecycle
+	sess.wg.Done()
 	rt.wg.Done()
 	if !noRecycle {
 		rt.recycle(ts)
@@ -1102,6 +1091,7 @@ func (rt *Runtime) runGuarded(ts *taskState, attempt int) (val float64, err erro
 		}
 		rt.mu.Lock()
 		rt.stats.Corrupted++
+		ts.sess.stats.Corrupted++
 		rt.mu.Unlock()
 	}
 	return val, nil
@@ -1113,15 +1103,22 @@ func (rt *Runtime) runGuarded(ts *taskState, attempt int) (val float64, err erro
 // runtime's postcondition check.
 func (rt *Runtime) Drain() { rt.wg.Wait() }
 
-// Err returns every distinct permanent task failure joined into one error
-// (errors.Join), or nil if nothing has failed. Failures recovered by
-// retry do not appear; cancelled successors are counted in
+// Err returns every live session's permanent task failures joined into
+// one error (errors.Join), or nil if nothing has failed. Failures
+// recovered by retry do not appear; cancelled successors are counted in
 // Stats.Poisoned but not repeated here — the root failure already is.
-// Call Drain first for a complete picture.
+// Call Drain first for a complete picture. Failures a session has
+// cleared (Session.ClearErrs) or aged out of its bounded window do not
+// appear either; servers wanting per-tenant failure state should use
+// Session.Err instead.
 func (rt *Runtime) Err() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return errors.Join(rt.errs...)
+	var all []error
+	for _, s := range rt.sessions {
+		all = append(all, s.errs...)
+	}
+	return errors.Join(all...)
 }
 
 // Graph returns a snapshot of the recorded task graph. Call Drain first
@@ -1146,122 +1143,22 @@ func (rt *Runtime) Stats() Stats {
 	return rt.stats
 }
 
-// BeginTrace opens a trace scope: the launches up to the matching
-// EndTrace form one instance of the trace key. The first instance
-// records a fingerprint, the second (if launched back to back with the
-// first) validates it and captures dependence edges, and later
-// back-to-back instances replay those edges without any dependence
-// analysis. Any gap, mismatch, or differently-shaped instance falls
-// back to full analysis automatically — a wrong trace scope costs
-// performance, never correctness. Traces must not nest, and the
-// launches inside a scope must come from a single goroutine.
-func (rt *Runtime) BeginTrace(key string) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.trace != nil {
-		panic("taskrt: traces must not nest")
-	}
-	tmpl := rt.traces[key]
-	if tmpl == nil {
-		tmpl = &traceTmpl{}
-		rt.traces[key] = tmpl
-	}
-	at := rt.atScratch
-	if at == nil {
-		at = &activeTrace{}
-		rt.atScratch = at
-	}
-	rt.atEpoch++
-	at.key = key
-	at.tmpl = tmpl
-	at.base = rt.nextID
-	at.n = 0
-	at.watermark = region.LastID()
-	at.fresh = tmpl.freshBufs[tmpl.flip][:0]
-	if at.freshIdx != nil {
-		clear(at.freshIdx)
-	}
-	if at.prevIdx != nil {
-		clear(at.prevIdx)
-	}
-	at.cand = nil // escapes into the template at EndTrace; never reused
-	at.failed = false
-	adjacent := tmpl.lastOK && tmpl.lastBase+int64(tmpl.lastLen) == rt.nextID
-	switch {
-	case !adjacent:
-		// A gap (foreign launches, another key, a failed instance)
-		// invalidates captured edges: ancient entries may have been
-		// shadowed and prev offsets no longer line up. Re-establish
-		// adjacency with one analyzed instance, then recalibrate.
-		at.mode = trRecord
-		tmpl.hasDeps = false
-	case !tmpl.hasDeps:
-		at.mode = trCalibrate
-	default:
-		at.mode = trReplay
-	}
-	if at.mode != trRecord && len(tmpl.lastFresh) > 0 {
-		if at.prevIdx == nil {
-			at.prevIdx = make(map[region.ID]int, len(tmpl.lastFresh))
-		}
-		for j, id := range tmpl.lastFresh {
-			at.prevIdx[id] = j
-		}
-	}
-	rt.trace = at
-}
+// BeginTrace opens a trace scope on the default session: the launches
+// up to the matching EndTrace form one instance of the trace key. The
+// first instance records a fingerprint, the second (if launched back to
+// back with the first) validates it and captures dependence edges, and
+// later back-to-back instances replay those edges without any
+// dependence analysis. Any gap, mismatch, or differently-shaped
+// instance falls back to full analysis automatically — a wrong trace
+// scope costs performance, never correctness. Traces must not nest, and
+// the launches inside a scope must come from a single goroutine.
+func (rt *Runtime) BeginTrace(key string) { rt.def.BeginTrace(key) }
 
-// EndTrace closes the current trace scope and files the instance's
-// outcome: a full replay counts as a trace hit; everything else — the
-// recording and calibrating instances, gaps, fallbacks, short
-// instances — counts as a miss.
-func (rt *Runtime) EndTrace() {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.trace == nil {
-		panic("taskrt: EndTrace without BeginTrace")
-	}
-	at := rt.trace
-	rt.trace = nil
-	tmpl := at.tmpl
-
-	if at.mode == trReplay {
-		if at.failed {
-			// traceObserve already dropped the template.
-			rt.stats.TraceMisses++
-			return
-		}
-		if at.n != len(tmpl.tasks) {
-			// Shorter instance: every spliced launch was individually
-			// valid, but this instance cannot anchor the next replay.
-			tmpl.lastOK = false
-			rt.stats.TraceMisses++
-			return
-		}
-		tmpl.lastOK = true
-		tmpl.lastBase = at.base
-		tmpl.lastLen = at.n
-		tmpl.lastFresh = at.fresh
-		tmpl.freshBufs[tmpl.flip] = at.fresh
-		tmpl.flip ^= 1
-		rt.stats.TraceHits++
-		return
-	}
-
-	rt.stats.TraceMisses++
-	calibrated := at.mode == trCalibrate && !at.failed && at.n == len(tmpl.tasks)
-	// The candidate becomes the template: identical to the old one when
-	// the instance matched (modulo stable→prev upgrades), the new truth
-	// when it did not.
-	tmpl.tasks = at.cand
-	tmpl.hasDeps = calibrated
-	tmpl.lastOK = true
-	tmpl.lastBase = at.base
-	tmpl.lastLen = at.n
-	tmpl.lastFresh = at.fresh
-	tmpl.freshBufs[tmpl.flip] = at.fresh
-	tmpl.flip ^= 1
-}
+// EndTrace closes the default session's current trace scope and files
+// the instance's outcome: a full replay counts as a trace hit;
+// everything else — the recording and calibrating instances, gaps,
+// fallbacks, short instances — counts as a miss.
+func (rt *Runtime) EndTrace() { rt.def.EndTrace() }
 
 // String summarizes the runtime state.
 func (rt *Runtime) String() string {

@@ -1,0 +1,289 @@
+package taskrt
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"kdrsolvers/internal/index"
+	"kdrsolvers/internal/region"
+)
+
+// A failing task in one session must not surface in another session's
+// Err, and the runtime-level Err must still see everything.
+func TestSessionErrorScoping(t *testing.T) {
+	rt := New()
+	bad := rt.NewSession("bad")
+	good := rt.NewSession("good")
+
+	ra := region.New("a", index.NewSpace("D", 4), "x")
+	rb := region.New("b", index.NewSpace("D", 4), "x")
+	bad.Launch(TaskSpec{
+		Name: "boom",
+		Refs: []region.Ref{ref(ra, "x", 0, 3, region.ReadWrite)},
+		Run:  func() float64 { panic("scoped failure") },
+	})
+	good.Launch(TaskSpec{
+		Name: "fine",
+		Refs: []region.Ref{ref(rb, "x", 0, 3, region.ReadWrite)},
+		Run:  func() float64 { return 1 },
+	})
+	rt.Drain()
+
+	if err := good.Err(); err != nil {
+		t.Fatalf("clean session polluted by neighbor: %v", err)
+	}
+	if err := bad.Err(); err == nil || !strings.Contains(err.Error(), "scoped failure") {
+		t.Fatalf("faulted session Err = %v", err)
+	}
+	if err := rt.Err(); err == nil {
+		t.Fatal("runtime Err must join all sessions")
+	}
+	if st := good.Stats(); st.Failed != 0 || st.Launched != 1 {
+		t.Fatalf("good session stats = %+v", st)
+	}
+	if st := bad.Stats(); st.Failed != 1 {
+		t.Fatalf("bad session stats = %+v", st)
+	}
+}
+
+// Poison must stay inside the failing session: its own successors are
+// cancelled, a stranger session's tasks on different regions run.
+func TestSessionPoisonContainment(t *testing.T) {
+	rt := New()
+	bad := rt.NewSession("bad")
+	good := rt.NewSession("good")
+
+	ra := region.New("a", index.NewSpace("D", 4), "x")
+	rb := region.New("b", index.NewSpace("D", 4), "x")
+	bad.Launch(TaskSpec{
+		Name: "boom",
+		Refs: []region.Ref{ref(ra, "x", 0, 3, region.WriteDiscard)},
+		Run:  func() float64 { panic("die") },
+	})
+	fBad := bad.Launch(TaskSpec{
+		Name: "downstream",
+		Refs: []region.Ref{ref(ra, "x", 0, 3, region.ReadOnly)},
+		Run:  func() float64 { return 7 },
+	})
+	ran := false
+	good.Launch(TaskSpec{
+		Name: "stranger",
+		Refs: []region.Ref{ref(rb, "x", 0, 3, region.ReadWrite)},
+		Run:  func() float64 { ran = true; return 0 },
+	})
+	rt.Drain()
+
+	if fBad.Err() == nil {
+		t.Fatal("successor of failed task must be poisoned")
+	}
+	if !ran {
+		t.Fatal("stranger session's task must still run")
+	}
+	if st := bad.Stats(); st.Poisoned != 1 {
+		t.Fatalf("bad session Poisoned = %d, want 1", st.Poisoned)
+	}
+	if st := good.Stats(); st.Poisoned != 0 || st.Failed != 0 {
+		t.Fatalf("good session stats = %+v", st)
+	}
+}
+
+// The poison ledger clears at *session* quiescence: a long-lived
+// neighbor keeping the runtime busy must not keep a finished session's
+// ledger pinned (the regression the shared server exposed — the global
+// runtime is effectively never idle).
+func TestSessionLedgerClearsAtSessionQuiescence(t *testing.T) {
+	// The worker pool is sized by GOMAXPROCS at New(); this test blocks
+	// one task mid-flight while another must run, so it needs two
+	// workers even on a single-CPU box.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rt := New()
+	bad := rt.NewSession("bad")
+	busy := rt.NewSession("busy")
+
+	ra := region.New("a", index.NewSpace("D", 4), "x")
+	rb := region.New("b", index.NewSpace("D", 4), "x")
+
+	// Keep the neighbor in flight while the failing session quiesces.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	busy.Launch(TaskSpec{
+		Name: "long",
+		Refs: []region.Ref{ref(rb, "x", 0, 3, region.ReadWrite)},
+		Run: func() float64 {
+			once.Do(func() { close(started) })
+			<-release
+			return 0
+		},
+	})
+	<-started
+
+	bad.Launch(TaskSpec{
+		Name: "boom",
+		Refs: []region.Ref{ref(ra, "x", 0, 3, region.ReadWrite)},
+		Run:  func() float64 { panic("die") },
+	})
+	bad.Drain() // session quiescent; runtime is not (busy still running)
+
+	rt.mu.Lock()
+	ledger := len(bad.failed)
+	rt.mu.Unlock()
+	if ledger != 0 {
+		t.Fatalf("quiescent session still holds %d ledger entries while a neighbor runs", ledger)
+	}
+
+	close(release)
+	rt.Drain()
+}
+
+// The per-session error window is bounded: sustained failures keep the
+// most recent maxSessionErrs and count the evictions.
+func TestSessionErrorWindowBounded(t *testing.T) {
+	rt := New()
+	s := rt.NewSession("chaos")
+	r := region.New("v", index.NewSpace("D", 4), "x")
+	const n = maxSessionErrs + 17
+	for i := 0; i < n; i++ {
+		s.Launch(TaskSpec{
+			Name: fmt.Sprintf("boom%d", i),
+			Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadWrite)},
+			Run:  func() float64 { panic("die") },
+		})
+		s.Drain() // quiesce so each failure is a fresh root, not poison
+	}
+	rt.Drain()
+
+	st := s.Stats()
+	if st.Failed != n {
+		t.Fatalf("Failed = %d, want %d", st.Failed, n)
+	}
+	if st.ErrsDropped != n-maxSessionErrs {
+		t.Fatalf("ErrsDropped = %d, want %d", st.ErrsDropped, n-maxSessionErrs)
+	}
+	rt.mu.Lock()
+	window := len(s.errs)
+	rt.mu.Unlock()
+	if window != maxSessionErrs {
+		t.Fatalf("error window holds %d, want %d", window, maxSessionErrs)
+	}
+	// The oldest failures were evicted; the newest survive.
+	err := s.Err()
+	if strings.Contains(err.Error(), "boom0 ") {
+		t.Fatal("oldest failure should have been evicted")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("boom%d", n-1)) {
+		t.Fatal("newest failure missing from window")
+	}
+}
+
+// ClearErrs empties one session's window without touching neighbors,
+// and a closed session stops contributing to the runtime Err.
+func TestSessionClearAndClose(t *testing.T) {
+	rt := New()
+	s1 := rt.NewSession("one")
+	s2 := rt.NewSession("two")
+	r1 := region.New("a", index.NewSpace("D", 4), "x")
+	r2 := region.New("b", index.NewSpace("D", 4), "x")
+	for _, sr := range []struct {
+		s *Session
+		r *region.Region
+	}{{s1, r1}, {s2, r2}} {
+		sr.s.Launch(TaskSpec{
+			Name: "boom",
+			Refs: []region.Ref{ref(sr.r, "x", 0, 3, region.ReadWrite)},
+			Run:  func() float64 { panic("die") },
+		})
+	}
+	rt.Drain()
+
+	if n := s1.ClearErrs(); n != 1 {
+		t.Fatalf("ClearErrs = %d, want 1", n)
+	}
+	if s1.Err() != nil {
+		t.Fatal("cleared session still reports errors")
+	}
+	if s2.Err() == nil {
+		t.Fatal("neighbor's errors were cleared too")
+	}
+	if rt.Err() == nil {
+		t.Fatal("runtime Err must still see session two")
+	}
+	s2.Close()
+	if rt.Err() != nil {
+		t.Fatalf("closed session still pollutes runtime Err: %v", rt.Err())
+	}
+	if rt.Sessions() != 2 { // default + "one"; "two" unregistered
+		t.Fatalf("Sessions = %d, want 2 after close", rt.Sessions())
+	}
+}
+
+// Phase labels carry the session prefix, keeping concurrent tenants
+// attributable in spans and graph nodes.
+func TestSessionPhasePrefix(t *testing.T) {
+	rt := New()
+	s := rt.NewSession("tenant7")
+	s.SetPhase("cg.step")
+	r := region.New("v", index.NewSpace("D", 4), "x")
+	s.Launch(TaskSpec{
+		Name: "work",
+		Refs: []region.Ref{ref(r, "x", 0, 3, region.ReadWrite)},
+		Run:  func() float64 { return 0 },
+	})
+	rt.Drain()
+	g := rt.Graph()
+	if got := g.Nodes[0].Phase; got != "tenant7/cg.step" {
+		t.Fatalf("phase = %q, want tenant7/cg.step", got)
+	}
+}
+
+// Retry policy is session state: a retrying tenant must not grant its
+// neighbor's failing tasks extra attempts.
+func TestSessionRetryScoping(t *testing.T) {
+	rt := New()
+	retrying := rt.NewSession("retrying")
+	plain := rt.NewSession("plain")
+	retrying.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
+
+	ra := region.New("a", index.NewSpace("D", 4), "x")
+	rb := region.New("b", index.NewSpace("D", 4), "x")
+	attempts := 0
+	f := retrying.Launch(TaskSpec{
+		Name:      "flaky",
+		Retryable: true,
+		Refs:      []region.Ref{ref(ra, "x", 0, 3, region.ReadWrite)},
+		Run: func() float64 {
+			attempts++
+			if attempts < 3 {
+				panic("transient")
+			}
+			return 9
+		},
+	})
+	plainAttempts := 0
+	plain.Launch(TaskSpec{
+		Name:      "flaky",
+		Retryable: true,
+		Refs:      []region.Ref{ref(rb, "x", 0, 3, region.ReadWrite)},
+		Run: func() float64 {
+			plainAttempts++
+			panic("always")
+		},
+	})
+	rt.Drain()
+
+	if got := f.Value(); got != 9 {
+		t.Fatalf("retrying session's task = %g, want 9", got)
+	}
+	if plainAttempts != 1 {
+		t.Fatalf("plain session's task ran %d times; retry policy leaked across sessions", plainAttempts)
+	}
+	if retrying.Err() != nil {
+		t.Fatalf("recovered session Err = %v", retrying.Err())
+	}
+	if plain.Err() == nil {
+		t.Fatal("plain session's permanent failure lost")
+	}
+}

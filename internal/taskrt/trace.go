@@ -323,12 +323,12 @@ func spliceDepsInto(tmpl []depTmpl, base int64, instLen int, deps, bytes []int64
 	return deps, bytes
 }
 
-// traceObserve classifies one launch under the active trace and decides
-// whether it can be spliced. On a successful replay match it sets
-// ts.splice and fills the task's own dep/byte buffers; otherwise the
-// launch proceeds to full analysis. Caller holds rt.mu.
-func (rt *Runtime) traceObserve(spec TaskSpec, ts *taskState) {
-	at := rt.trace
+// traceObserve classifies one launch under the session's active trace
+// and decides whether it can be spliced. On a successful replay match it
+// sets ts.splice and fills the task's own dep/byte buffers; otherwise
+// the launch proceeds to full analysis. Caller holds rt.mu.
+func (s *Session) traceObserve(spec TaskSpec, ts *taskState) {
+	at := s.trace
 	pos := at.n
 	at.n++
 
@@ -346,8 +346,8 @@ func (rt *Runtime) traceObserve(spec TaskSpec, ts *taskState) {
 		// to full analysis for the rest of the instance and drop the
 		// template — it no longer describes this launch sequence.
 		at.failed = true
-		rt.stats.TraceFallbacks++
-		delete(rt.traces, at.key)
+		s.rt.stats.TraceFallbacks++
+		delete(s.traces, at.key)
 		return
 	}
 
@@ -366,8 +366,8 @@ func (rt *Runtime) traceObserve(spec TaskSpec, ts *taskState) {
 // traceRecordAnalyzed stores an analyzed launch's edges into the
 // candidate template (calibrate mode). Caller holds rt.mu; pos is the
 // launch's position within the instance.
-func (rt *Runtime) traceRecordAnalyzed(pos int, deps, bytes []int64) {
-	at := rt.trace
+func (s *Session) traceRecordAnalyzed(pos int, deps, bytes []int64) {
+	at := s.trace
 	if at == nil || at.mode != trCalibrate || at.failed || pos >= len(at.cand) {
 		return
 	}
