@@ -4,14 +4,15 @@
 // numbers land in a machine-readable artifact instead of scrolling away
 // in a CI log:
 //
-//	go run ./cmd/benchlaunch -strict -o BENCH_pr9.json
+//	go run ./cmd/benchlaunch -strict -o BENCH_pr10.json
 //
 // The report carries performance gates (spliced launch under 1 µs with
 // zero allocations, replay faster than analysis, fused CG launching
 // ≥30% fewer tasks than unfused, adaptive format selection within 10%
 // of the best hand-picked format, checksummed SpMV within 15% of plain,
-// periodic residual replacement within 5% of the launch budget). A
-// violated gate prints a WARNING;
+// periodic residual replacement within 5% of the launch budget,
+// WAL-journaled serving with batched fsyncs at ≥85% of WAL-off
+// throughput). A violated gate prints a WARNING;
 // with -strict — the CI default — it fails the run with exit status 1
 // so regressions break the build instead of scrolling away.
 package main
@@ -176,12 +177,98 @@ type serverThroughputResult struct {
 	MaxTrueResidual float64 `json:"max_true_residual"`
 }
 
+// walOverheadResult prices crash durability: the same job mix through
+// the server with the journal off, with the default batched fsync
+// policy, and fsyncing every record. Rounds interleave the three
+// configurations so a load spike on a shared box lands on all sides of
+// the ratio; the gate is on the median per-round ratio, the same
+// discipline the SDC overhead measurement uses.
+type walOverheadResult struct {
+	Jobs       int    `json:"jobs"`
+	Rounds     int    `json:"rounds"`
+	Matrix     string `json:"matrix"`
+	FsyncEvery int    `json:"fsync_every"`
+	// Per-side median job cost: journal off, fsync batched every
+	// FsyncEvery records, fsync every record.
+	OffNsPerJob     float64 `json:"off_ns_per_job"`
+	BatchedNsPerJob float64 `json:"batched_ns_per_job"`
+	EveryNsPerJob   float64 `json:"every_ns_per_job"`
+	// BatchedThroughput is the median over rounds of (off wall)/(batched
+	// wall) — batched jobs/s as a fraction of WAL-off jobs/s. The gate
+	// requires ≥ 0.85: durability with batched fsyncs may cost at most
+	// 15% of throughput.
+	BatchedThroughput float64 `json:"batched_throughput"`
+	// EveryThroughput is the same ratio for fsync-every-record —
+	// reported for the README's durability table, not gated (it prices
+	// the strictest setting honestly).
+	EveryThroughput float64 `json:"every_throughput"`
+}
+
+func measureWALOverhead() walOverheadResult {
+	spec := jobspec.Default()
+	spec.Matrix = "lap2d:16x16"
+	spec.Solver = "cg"
+	res := walOverheadResult{Jobs: 32, Rounds: 7, Matrix: spec.Matrix, FsyncEvery: 16}
+
+	tmp, err := os.MkdirTemp("", "benchlaunch-wal-*")
+	if err != nil {
+		panic("benchlaunch: wal tmpdir: " + err.Error())
+	}
+	defer os.RemoveAll(tmp)
+	round := func(r int, fsyncEvery int) time.Duration {
+		cfg := serve.Config{MaxActive: 1, QueueDepth: res.Jobs * 2, CoalesceMax: 1, Tracing: true}
+		if fsyncEvery > 0 {
+			// A fresh directory per round: each round pays admission and
+			// completion journaling, never a growing replay.
+			cfg.WALDir = filepath.Join(tmp, fmt.Sprintf("r%d-f%d", r, fsyncEvery))
+			cfg.FsyncEvery = fsyncEvery
+		}
+		wall, worst, _, _ := serveJobsCfg(spec, res.Jobs, cfg)
+		if worst > spec.Tol*1.05 {
+			panic(fmt.Sprintf("benchlaunch: wal round residual %g misses tol", worst))
+		}
+		return wall
+	}
+	var offNs, batchedNs, everyNs, batchedRatio, everyRatio []float64
+	for r := 0; r < res.Rounds; r++ {
+		off := round(r, 0)
+		batched := round(r, res.FsyncEvery)
+		every := round(r, 1)
+		offNs = append(offNs, float64(off.Nanoseconds())/float64(res.Jobs))
+		batchedNs = append(batchedNs, float64(batched.Nanoseconds())/float64(res.Jobs))
+		everyNs = append(everyNs, float64(every.Nanoseconds())/float64(res.Jobs))
+		batchedRatio = append(batchedRatio, float64(off.Nanoseconds())/float64(batched.Nanoseconds()))
+		everyRatio = append(everyRatio, float64(off.Nanoseconds())/float64(every.Nanoseconds()))
+	}
+	res.OffNsPerJob = medianOf(offNs)
+	res.BatchedNsPerJob = medianOf(batchedNs)
+	res.EveryNsPerJob = medianOf(everyNs)
+	res.BatchedThroughput = medianOf(batchedRatio)
+	res.EveryThroughput = medianOf(everyRatio)
+	return res
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
 // serveJobs pushes the job list through a fresh server and returns
 // wall-clock, worst true residual, and the coalescing counters.
 func serveJobs(spec jobspec.Spec, jobs int, coalesceMax int) (time.Duration, float64, int64, int64) {
-	srv := serve.NewServer(serve.Config{
+	return serveJobsCfg(spec, jobs, serve.Config{
 		MaxActive: 1, QueueDepth: jobs * 2, CoalesceMax: coalesceMax, Tracing: true,
 	})
+}
+
+// serveJobsCfg is serveJobs with the full server configuration exposed
+// (the WAL overhead section varies durability settings).
+func serveJobsCfg(spec jobspec.Spec, jobs int, cfg serve.Config) (time.Duration, float64, int64, int64) {
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		panic("benchlaunch: start server: " + err.Error())
+	}
 	start := time.Now()
 	handles := make([]*serve.Job, 0, jobs)
 	for i := 0; i < jobs; i++ {
@@ -283,6 +370,9 @@ type report struct {
 	// ServerThroughput compares the long-running job server against
 	// sequential one-shot CLI runs.
 	ServerThroughput serverThroughputResult `json:"server_throughput"`
+	// WALOverhead prices crash durability: served throughput with the
+	// journal off vs batched-fsync vs fsync-every-record.
+	WALOverhead walOverheadResult `json:"wal_overhead"`
 }
 
 // solverPlanner builds a real (non-virtual) planner on lap2d:64x64 and
@@ -774,7 +864,7 @@ func measureSDCOverhead() sdcResult {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_pr9.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_pr10.json", "output file ('-' for stdout)")
 	strict := flag.Bool("strict", false, "exit non-zero when a performance gate fails (CI sets this)")
 	flag.Parse()
 
@@ -796,6 +886,7 @@ func main() {
 		ReductionsPerIter: measureReductionLedger(),
 		SDCOverhead:       sdc,
 		ServerThroughput:  measureServerThroughput(),
+		WALOverhead:       measureWALOverhead(),
 	}
 
 	var failures []string
@@ -849,6 +940,10 @@ func main() {
 		st.Speedup, st.Baseline)
 	gate(st.MaxTrueResidual <= st.Tol*1.05,
 		"served job true residual %.3g misses tol %.3g", st.MaxTrueResidual, st.Tol)
+	wo := rep.WALOverhead
+	gate(wo.BatchedThroughput >= 0.85,
+		"WAL with batched fsyncs serves %.2fx the WAL-off throughput (%.0f vs %.0f ns/job), gate >= 0.85x",
+		wo.BatchedThroughput, wo.BatchedNsPerJob, wo.OffNsPerJob)
 	for _, msg := range failures {
 		fmt.Fprintf(os.Stderr, "benchlaunch: WARNING: %s\n", msg)
 	}

@@ -19,6 +19,15 @@
 // bound. On SIGTERM or SIGINT the server drains gracefully — in-flight
 // solves finish, queued jobs complete immediately with a retryable
 // rejection, new submissions get 503 — then exits 0.
+//
+// With -wal-dir the server is crash-durable: every accepted job, every
+// verified resilient checkpoint, and every terminal state is journaled
+// to a write-ahead log. On startup the journal is replayed — finished
+// jobs keep their results, unfinished jobs re-enter the queue, jobs
+// with a persisted checkpoint resume from it — and a drain persists
+// queued jobs for the next start instead of rejecting them.
+//
+//	mmserve -addr :8080 -wal-dir /var/lib/mmserve/wal -fsync-every 1
 package main
 
 import (
@@ -41,6 +50,10 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 64, "bounded admission queue length")
 	coalesceMax := flag.Int("coalesce-max", 8, "max same-operator jobs fused into one multi-RHS solve (1 disables)")
 	tracing := flag.Bool("trace", true, "memoize dependence analysis of repeated solver iterations")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory for crash durability (empty disables)")
+	fsyncEvery := flag.Int("fsync-every", 16, "fsync the journal every N records (1 = every record)")
+	retainDone := flag.Int("retain-done", 256, "completed jobs kept for GET /jobs/{id} before LRU eviction")
+	retainTTL := flag.Duration("retain-ttl", 0, "additionally expire completed jobs by age (0 disables)")
 	flag.Parse()
 	if *maxActive < 1 || *queueDepth < 1 || *coalesceMax < 1 {
 		fmt.Fprintln(os.Stderr, "mmserve: -max-active, -queue-depth, and -coalesce-max must be at least 1")
@@ -50,13 +63,21 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Printf("mmserve: "+format+"\n", args...)
 	}
-	srv := serve.NewServer(serve.Config{
+	srv, err := serve.NewServer(serve.Config{
 		MaxActive:   *maxActive,
 		QueueDepth:  *queueDepth,
 		CoalesceMax: *coalesceMax,
 		Tracing:     *tracing,
+		WALDir:      *walDir,
+		FsyncEvery:  *fsyncEvery,
+		RetainDone:  *retainDone,
+		RetainTTL:   *retainTTL,
 		Log:         logf,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmserve:", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{Addr: *addr, Handler: serve.Handler(srv)}
 
 	sig := make(chan os.Signal, 1)
@@ -64,7 +85,11 @@ func main() {
 	drained := make(chan struct{})
 	go func() {
 		s := <-sig
-		logf("caught %v, draining (in-flight jobs finish, queued jobs rejected retryable)", s)
+		if *walDir != "" {
+			logf("caught %v, draining (in-flight jobs finish, queued jobs persist to the journal)", s)
+		} else {
+			logf("caught %v, draining (in-flight jobs finish, queued jobs rejected retryable)", s)
+		}
 		srv.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

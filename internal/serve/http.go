@@ -43,6 +43,10 @@ func Handler(s *Server) http.Handler {
 			case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 				w.Header().Set("Retry-After", "1")
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			case errors.Is(err, ErrJournal):
+				// The job was not accepted: the journal could not make it
+				// durable, and an acknowledgment would be a lie.
+				http.Error(w, err.Error(), http.StatusInternalServerError)
 			default:
 				http.Error(w, err.Error(), http.StatusBadRequest)
 			}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"kdrsolvers/internal/jobspec"
+	"kdrsolvers/internal/obs"
+	"kdrsolvers/internal/wal"
+)
+
+// Journal record types. The journal is the server's durable job
+// history: every accepted job, every verified checkpoint, every
+// terminal state. Replay folds the record stream into "who is done,
+// who still owes work, and where can the work pick up" — so a restart
+// is a replay, not data loss.
+const (
+	recAccept     = "accept"     // job admitted: id + spec + submission time
+	recCheckpoint = "checkpoint" // verified resilient checkpoint: iter + residual + solution
+	recResume     = "resume"     // informational: a replayed job was re-enqueued from iter N
+	recDone       = "done"       // terminal state: converged, failed, or rejected — replay skips the job
+)
+
+// journalRecord is the JSON envelope of every WAL record. Go's JSON
+// encoder formats float64 with the shortest round-tripping
+// representation, so checkpointed solution vectors survive the disk
+// round trip bit-for-bit — the property the resume-conformance rows
+// assert.
+type journalRecord struct {
+	T         string        `json:"t"`
+	ID        string        `json:"id"`
+	Spec      *jobspec.Spec `json:"spec,omitempty"`
+	Submitted time.Time     `json:"submitted,omitempty"`
+	Iter      int           `json:"iter,omitempty"`
+	Residual  float64       `json:"residual,omitempty"`
+	X         []float64     `json:"x,omitempty"`
+	Basis     string        `json:"basis,omitempty"`
+	Result    *JobResult    `json:"result,omitempty"`
+}
+
+// ResumePoint is where a replayed job picks up: the last persisted
+// verified checkpoint.
+type ResumePoint struct {
+	// Iter is the absolute iteration the checkpoint was taken at.
+	Iter int
+	// Residual is the host-verified true residual at the checkpoint.
+	Residual float64
+	// X is the full checkpointed solution vector in index order.
+	X []float64
+	// Basis is the operator fingerprint the job's recycle space was
+	// keyed by (gcrodr provenance; the in-memory deflation basis itself
+	// dies with the process and is rebuilt).
+	Basis string
+}
+
+// ReplayedJob is one journaled job a restart owes work on: accepted,
+// never journaled done.
+type ReplayedJob struct {
+	ID        string
+	Spec      jobspec.Spec
+	Submitted time.Time
+	// Resume is the job's last persisted checkpoint, nil when it never
+	// checkpointed (replay re-runs it from iteration 0).
+	Resume *ResumePoint
+}
+
+// JournalReplay is the folded state of one journal: what a restarting
+// server reconstructs.
+type JournalReplay struct {
+	// Pending holds accepted-but-unfinished jobs in acceptance order —
+	// the order they re-enter the queue, preserving FIFO fairness across
+	// the crash.
+	Pending []*ReplayedJob
+	// Done maps finished job ids to their journaled results, so job
+	// status survives a restart.
+	Done map[string]*JobResult
+	// DoneOrder lists Done's keys in completion-record order (retention
+	// eviction replays in the same order it would have happened live).
+	DoneOrder []string
+	// MaxID is the highest numeric suffix among journaled "job-N" ids;
+	// the server's id counter restarts past it so new submissions never
+	// collide with replayed jobs.
+	MaxID int64
+	// Skipped counts records that passed the WAL checksum but failed to
+	// decode — writer version skew, not torn writes (those the WAL
+	// truncates). They are skipped, not fatal: an old journal must not
+	// brick a new server.
+	Skipped int64
+}
+
+// Journal is the job journal: typed records over one WAL. All methods
+// are safe for concurrent use (the WAL serializes appends; the
+// counters are atomic).
+type Journal struct {
+	log *wal.Log
+
+	checkpoints obs.Counter // checkpoint records persisted
+	resumed     obs.Counter // jobs re-enqueued from a checkpoint at replay
+}
+
+// OpenJournal opens (creating if needed) the journal in dir and replays
+// it. fsyncEvery batches the WAL's fsyncs (1 = sync every record).
+func OpenJournal(dir string, fsyncEvery int) (*Journal, *JournalReplay, error) {
+	l, err := wal.Open(dir, wal.Options{FsyncEvery: fsyncEvery})
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{log: l}
+	rep, err := j.Replay()
+	if err != nil {
+		l.Close()
+		return nil, nil, err
+	}
+	return j, rep, nil
+}
+
+// Replay folds the journal's current record stream into a
+// JournalReplay. It is a pure function of the log contents: replaying
+// twice — or closing and reopening between replays — yields identical
+// state, and a job appears in Pending at most once no matter how many
+// times its records were written. Resume records never change the fold
+// (they are provenance, not state), which is why re-journaling a
+// resumed job cannot make it double-run.
+func (j *Journal) Replay() (*JournalReplay, error) {
+	rep := &JournalReplay{Done: make(map[string]*JobResult)}
+	pending := make(map[string]*ReplayedJob)
+	var order []string
+	err := j.log.Replay(func(payload []byte) error {
+		var r journalRecord
+		if err := json.Unmarshal(payload, &r); err != nil || r.ID == "" {
+			rep.Skipped++
+			return nil
+		}
+		if n, ok := numericSuffix(r.ID); ok && n > rep.MaxID {
+			rep.MaxID = n
+		}
+		switch r.T {
+		case recAccept:
+			if r.Spec == nil {
+				rep.Skipped++
+				return nil
+			}
+			if _, dup := pending[r.ID]; dup {
+				return nil // idempotent: a re-journaled accept is one job
+			}
+			if _, done := rep.Done[r.ID]; done {
+				return nil
+			}
+			pending[r.ID] = &ReplayedJob{ID: r.ID, Spec: *r.Spec, Submitted: r.Submitted}
+			order = append(order, r.ID)
+		case recCheckpoint:
+			if job := pending[r.ID]; job != nil {
+				// Latest checkpoint wins: records are appended in order, so
+				// the last one in the log is the furthest verified state.
+				job.Resume = &ResumePoint{Iter: r.Iter, Residual: r.Residual, X: r.X, Basis: r.Basis}
+			}
+		case recDone:
+			if _, seen := rep.Done[r.ID]; !seen {
+				rep.DoneOrder = append(rep.DoneOrder, r.ID)
+			}
+			rep.Done[r.ID] = r.Result
+			delete(pending, r.ID)
+		case recResume:
+			// Provenance only; the fold ignores it.
+		default:
+			rep.Skipped++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		if job := pending[id]; job != nil {
+			rep.Pending = append(rep.Pending, job)
+		}
+	}
+	return rep, nil
+}
+
+// numericSuffix parses the N of a "job-N" id.
+func numericSuffix(id string) (int64, bool) {
+	s, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	return n, err == nil
+}
+
+func (j *Journal) append(r *journalRecord) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("serve: journal encode: %w", err)
+	}
+	return j.log.Append(payload)
+}
+
+// Accept journals a job admission. Once the covering fsync runs, a
+// crash cannot lose the job.
+func (j *Journal) Accept(id string, spec jobspec.Spec, submitted time.Time) error {
+	return j.append(&journalRecord{T: recAccept, ID: id, Spec: &spec, Submitted: submitted})
+}
+
+// Checkpoint journals one verified checkpoint: iteration, true
+// residual, the full solution vector, and the recycle-basis
+// fingerprint.
+func (j *Journal) Checkpoint(id string, iter int, residual float64, x []float64, basis string) error {
+	err := j.append(&journalRecord{T: recCheckpoint, ID: id, Iter: iter, Residual: residual, X: x, Basis: basis})
+	if err == nil {
+		j.checkpoints.Inc()
+	}
+	return err
+}
+
+// Resume journals that a replayed job was re-enqueued from iteration
+// iter — provenance for post-mortems and the crash e2e's "resumed from
+// a checkpoint, not iteration 0" assertion. Replay ignores it.
+func (j *Journal) Resume(id string, iter int) error {
+	err := j.append(&journalRecord{T: recResume, ID: id, Iter: iter})
+	if err == nil {
+		j.resumed.Inc()
+	}
+	return err
+}
+
+// Done journals a terminal state. Replay skips done jobs, making
+// restart idempotent; a done record lost to a crash (batched fsync)
+// merely re-runs a deterministic solve.
+func (j *Journal) Done(id string, res *JobResult) error {
+	return j.append(&journalRecord{T: recDone, ID: id, Result: res})
+}
+
+// Sync forces batched records to disk.
+func (j *Journal) Sync() error { return j.log.Sync() }
+
+// Close syncs and closes the underlying WAL.
+func (j *Journal) Close() error { return j.log.Close() }
+
+// WALMetricsSnapshot is the journal's slice of GET /metrics: the
+// underlying WAL's counters plus the journal-level ones.
+type WALMetricsSnapshot struct {
+	RecordsAppended      int64 `json:"records_appended"`
+	RecordsReplayed      int64 `json:"records_replayed"`
+	RecordsTruncated     int64 `json:"records_truncated"`
+	TruncatedBytes       int64 `json:"truncated_bytes"`
+	Fsyncs               int64 `json:"fsyncs"`
+	RecoveryNS           int64 `json:"recovery_ns"`
+	Segments             int   `json:"segments"`
+	CheckpointsPersisted int64 `json:"checkpoints_persisted"`
+	JobsResumed          int64 `json:"jobs_resumed"`
+}
+
+// Metrics snapshots the journal's counters.
+func (j *Journal) Metrics() WALMetricsSnapshot {
+	st := j.log.Stats()
+	return WALMetricsSnapshot{
+		RecordsAppended:      st.RecordsAppended,
+		RecordsReplayed:      st.RecordsRecovered,
+		RecordsTruncated:     st.Truncations,
+		TruncatedBytes:       st.TruncatedBytes,
+		Fsyncs:               st.Fsyncs,
+		RecoveryNS:           st.RecoveryNS,
+		Segments:             j.log.Segments(),
+		CheckpointsPersisted: j.checkpoints.Load(),
+		JobsResumed:          j.resumed.Load(),
+	}
+}

@@ -6,6 +6,7 @@
 package serve
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -46,6 +47,19 @@ type Options struct {
 	// Recorder, when non-nil, is attached to the session before the
 	// solve so every task records wall-clock spans.
 	Recorder *obs.Recorder
+	// Resume, when non-nil, seeds the solve from a persisted checkpoint:
+	// the solution vector starts from Resume.X instead of zero, and a
+	// resilient solve (CheckpointEvery > 0) continues its iteration
+	// accounting at Resume.Iter — MaxIter still bounds the job's TOTAL
+	// iterations across its lifetime.
+	Resume *ResumePoint
+	// CheckpointSink, when non-nil and the spec selects the resilient
+	// driver, receives every verified checkpoint the moment it is taken:
+	// the absolute iteration, the host-verified true residual, the full
+	// solution vector in index order, and the operator fingerprint the
+	// job's recycle space is keyed by. The slice is only valid during
+	// the call — persist synchronously.
+	CheckpointSink func(iter int, residual float64, x []float64, basis string)
 }
 
 // JobResult is the outcome of one solve job, shaped for the server's
@@ -86,6 +100,10 @@ type JobResult struct {
 	// solve this result came from (0 or 1 for a solo solve).
 	Coalesced int `json:"coalesced,omitempty"`
 
+	// ResumedFrom is the absolute checkpoint iteration a replayed job
+	// restarted from (0 for a job that ran from scratch).
+	ResumedFrom int `json:"resumed_from_iter,omitempty"`
+
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Session is the per-session launch accounting, the evidence
 	// multi-tenant tests use to prove no cross-session serialization.
@@ -113,6 +131,14 @@ func RunSolve(a *sparse.CSR, spec jobspec.Spec, opt Options) JobResult {
 
 	b := spec.BuildRHS(a, n)
 	x := make([]float64, n)
+	if opt.Resume != nil {
+		if len(opt.Resume.X) != n {
+			out.Err = fmt.Sprintf("serve: resume checkpoint has %d entries, system has %d", len(opt.Resume.X), n)
+			return out
+		}
+		copy(x, opt.Resume.X)
+		out.ResumedFrom = opt.Resume.Iter
+	}
 	p := core.NewPlanner(core.Config{Machine: machine.Lassen(1), Session: sess})
 	si := p.AddSolVector(x, index.EqualPartition(index.NewSpace("D", rows), spec.Pieces))
 	ri := p.AddRHSVector(b, index.EqualPartition(index.NewSpace("R", rows), spec.Pieces))
@@ -169,13 +195,23 @@ func RunSolve(a *sparse.CSR, spec jobspec.Spec, opt Options) JobResult {
 		if mr <= 0 {
 			mr = -1 // solvers.ResilientConfig: negative disables restarts
 		}
-		rres := solvers.SolveResilient(p, newSolver, solvers.ResilientConfig{
+		rcfg := solvers.ResilientConfig{
 			Tol: spec.Tol, MaxIter: spec.MaxIter,
 			CheckpointEvery: spec.CheckpointEvery, MaxRestarts: mr,
 			DetectSDC:    spec.DetectSDC,
 			ReplaceEvery: spec.ReplaceEvery, DriftTol: spec.DriftTol,
 			Log: logf,
-		})
+		}
+		if opt.Resume != nil {
+			rcfg.StartIteration = opt.Resume.Iter
+		}
+		if sink := opt.CheckpointSink; sink != nil {
+			basis := p.OperatorFingerprint()
+			rcfg.CheckpointSink = func(c solvers.Checkpoint) {
+				sink(c.Iteration, c.TrueResidual, flattenCheckpoint(c.Sol), basis)
+			}
+		}
+		rres := solvers.SolveResilient(p, newSolver, rcfg)
 		res = rres.Result
 		out.Restarts = rres.Restarts
 		out.Checkpoints = rres.Checkpoints
@@ -254,6 +290,24 @@ func stepLoop(s solvers.Solver, tol float64, maxIter int, telemetry func(int, fl
 		}
 	}
 	return solvers.Result{Iterations: maxIter, Residual: res, Converged: false}
+}
+
+// flattenCheckpoint concatenates a planner checkpoint's per-component
+// slices into one index-ordered vector (RunSolve planners have a single
+// solution component, so this is usually a copy of that one slice).
+func flattenCheckpoint(sol [][]float64) []float64 {
+	if len(sol) == 1 {
+		return append([]float64(nil), sol[0]...)
+	}
+	var n int
+	for _, s := range sol {
+		n += len(s)
+	}
+	out := make([]float64, 0, n)
+	for _, s := range sol {
+		out = append(out, s...)
+	}
+	return out
 }
 
 // HostResidual is ‖b − A·x‖ computed directly from the raw arrays.

@@ -25,6 +25,11 @@ var (
 	ErrDraining  = errors.New("serve: server draining, retry against a live replica")
 )
 
+// ErrJournal wraps a WAL append failure during admission: the job was
+// NOT accepted (a job the journal cannot make durable must not be
+// acknowledged). The HTTP front end maps it to 500.
+var ErrJournal = errors.New("serve: journal append failed")
+
 // Config sizes a Server.
 type Config struct {
 	// MaxActive bounds concurrently executing solve sessions (batches
@@ -41,6 +46,27 @@ type Config struct {
 	// Tracing enables per-session trace memoization of solver iteration
 	// loops.
 	Tracing bool
+	// WALDir, when non-empty, makes the server crash-durable: every
+	// accepted job, every verified resilient checkpoint, and every
+	// terminal state is journaled to a write-ahead log in this
+	// directory. NewServer replays the journal — finished jobs keep
+	// their results, unfinished jobs re-enter the queue, and jobs with a
+	// persisted checkpoint resume from it instead of iteration 0 — and
+	// Drain persists queued jobs for the next start instead of
+	// rejecting them. Empty disables durability (the PR-9 behavior).
+	WALDir string
+	// FsyncEvery batches the journal's fsyncs: records are synced to
+	// disk every N appends (1 = every record, the strictest setting; a
+	// crash can lose at most the newest N−1 acknowledged records).
+	// Default 16.
+	FsyncEvery int
+	// RetainDone bounds how many completed jobs the registry keeps for
+	// GET /jobs/{id}: past the bound the oldest-completed are evicted
+	// (lookups then 404). Default 256.
+	RetainDone int
+	// RetainTTL additionally expires completed jobs by age; 0 disables
+	// the TTL (eviction is then purely LRU via RetainDone).
+	RetainTTL time.Duration
 	// Log, when non-nil, receives server progress lines.
 	Log func(format string, args ...any)
 }
@@ -54,6 +80,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CoalesceMax <= 0 {
 		c.CoalesceMax = 8
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = 16
+	}
+	if c.RetainDone <= 0 {
+		c.RetainDone = 256
 	}
 	if c.Log == nil {
 		c.Log = func(string, ...any) {}
@@ -73,6 +105,11 @@ const (
 type Job struct {
 	ID   string
 	Spec jobspec.Spec
+
+	// resume, when non-nil, is the persisted checkpoint a replayed job
+	// restarts from. Set only during journal replay, before the job is
+	// visible to workers.
+	resume *ResumePoint
 
 	mu        sync.Mutex
 	state     string
@@ -134,6 +171,8 @@ type Metrics struct {
 	Failed           obs.Counter // completed with an error, breakdown, or no convergence
 	CoalescedJobs    obs.Counter // jobs that ran inside a shared multi-RHS batch
 	Batches          obs.Counter // multi-RHS batches executed
+	ErrsDropped      obs.Counter // session error-window evictions, summed over completed jobs
+	EvictedJobs      obs.Counter // completed jobs evicted from the registry (TTL/LRU)
 	SolveTime        obs.Timer
 	QueueTime        obs.Timer
 }
@@ -150,10 +189,21 @@ type MetricsSnapshot struct {
 	CoalescedJobs    int64 `json:"coalesced_jobs"`
 	Batches          int64 `json:"batches"`
 
+	// ErrsDropped sums, over completed jobs, the permanent task failures
+	// each job's session evicted from its bounded error window
+	// (taskrt.SessionStats.ErrsDropped) — visibility into how much
+	// failure history the windows have shed.
+	ErrsDropped int64 `json:"errs_dropped"`
+	// EvictedJobs counts completed jobs the registry evicted (TTL/LRU).
+	EvictedJobs int64 `json:"evicted_jobs"`
+
 	Active   int  `json:"active"`
 	Queued   int  `json:"queued"`
 	Sessions int  `json:"sessions"`
 	Draining bool `json:"draining"`
+
+	// WAL is the journal's counters; absent when durability is off.
+	WAL *WALMetricsSnapshot `json:"wal,omitempty"`
 
 	SolveTimeNS     int64 `json:"solve_time_ns"`
 	MeanSolveNS     int64 `json:"mean_solve_ns"`
@@ -187,13 +237,17 @@ type Server struct {
 	cfg Config
 	rt  *taskrt.Runtime
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []*Job
-	jobs     map[string]*Job
-	active   int
-	draining bool
-	nextID   int64
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*Job
+	jobs      map[string]*Job
+	doneOrder []string // completed job ids, oldest first (eviction order)
+	active    int
+	draining  bool
+	nextID    int64
+
+	journal      *Journal // nil when durability is off
+	journalClose sync.Once
 
 	matrices map[string]*matrixEntry
 	caches   map[string]*solvers.RecycleCache
@@ -203,8 +257,13 @@ type Server struct {
 }
 
 // NewServer starts a server with cfg.MaxActive workers over one fresh
-// shared runtime.
-func NewServer(cfg Config) *Server {
+// shared runtime. With cfg.WALDir set it first replays the journal:
+// finished jobs keep their journaled results, unfinished jobs re-enter
+// the queue in their original acceptance order, and jobs with a
+// persisted checkpoint are marked to resume from it. The only error is
+// a journal that cannot be opened (corruption is recovered by
+// truncation, never an error).
+func NewServer(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -214,11 +273,68 @@ func NewServer(cfg Config) *Server {
 		caches:   make(map[string]*solvers.RecycleCache),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.WALDir != "" {
+		if err := s.replayJournal(); err != nil {
+			return nil, err
+		}
+	}
 	s.workers.Add(cfg.MaxActive)
 	for i := 0; i < cfg.MaxActive; i++ {
 		go s.worker(i)
 	}
-	return s
+	return s, nil
+}
+
+// replayJournal opens the WAL and folds its history back into the
+// server: done jobs into the registry, pending jobs into the queue.
+// Runs before workers start, so no locking is needed on the maps.
+func (s *Server) replayJournal() error {
+	jn, rep, err := OpenJournal(s.cfg.WALDir, s.cfg.FsyncEvery)
+	if err != nil {
+		return fmt.Errorf("serve: open wal journal: %w", err)
+	}
+	s.journal = jn
+	s.nextID = rep.MaxID
+	now := time.Now()
+	for _, id := range rep.DoneOrder {
+		j := &Job{ID: id, state: StateDone, result: rep.Done[id], finished: now,
+			done: make(chan struct{})}
+		close(j.done)
+		s.jobs[id] = j
+		s.doneOrder = append(s.doneOrder, id)
+	}
+	s.evictDoneLocked(now)
+	resumed := 0
+	for _, rj := range rep.Pending {
+		j := &Job{
+			ID: rj.ID, Spec: rj.Spec, resume: rj.Resume,
+			state: StateQueued, submitted: rj.Submitted,
+			done: make(chan struct{}),
+		}
+		if j.submitted.IsZero() {
+			j.submitted = now
+		}
+		s.jobs[j.ID] = j
+		s.queue = append(s.queue, j)
+		if rj.Resume != nil {
+			resumed++
+			// Journal the resumption so the log records that this incarnation
+			// picked up at a checkpoint, not iteration 0. Replay ignores
+			// resume records, so re-journaling cannot double-run the job.
+			if err := jn.Resume(rj.ID, rj.Resume.Iter); err != nil {
+				s.cfg.Log("wal: journal resume of %s: %v", rj.ID, err)
+			}
+		}
+	}
+	if mt := jn.Metrics(); mt.RecordsReplayed > 0 || mt.RecordsTruncated > 0 {
+		s.cfg.Log("wal: replayed %d record(s) in %v (%d truncation(s)): %d done, %d requeued, %d resuming from a checkpoint",
+			mt.RecordsReplayed, time.Duration(mt.RecoveryNS), mt.RecordsTruncated,
+			len(rep.DoneOrder), len(rep.Pending), resumed)
+	}
+	if rep.Skipped > 0 {
+		s.cfg.Log("wal: skipped %d undecodable record(s) (version skew?)", rep.Skipped)
+	}
+	return nil
 }
 
 // Runtime exposes the shared runtime (tests assert on its stats).
@@ -252,6 +368,17 @@ func (s *Server) Submit(spec jobspec.Spec) (*Job, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if s.journal != nil {
+		// Journal before acknowledging: a job the log cannot make durable
+		// must not be accepted (the client would believe it survives a
+		// crash when it wouldn't).
+		if err := s.journal.Accept(j.ID, j.Spec, j.submitted); err != nil {
+			s.nextID--
+			s.mu.Unlock()
+			s.cfg.Log("wal: journal accept: %v", err)
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
 	s.jobs[j.ID] = j
 	s.queue = append(s.queue, j)
 	s.cond.Signal()
@@ -259,12 +386,51 @@ func (s *Server) Submit(spec jobspec.Spec) (*Job, error) {
 	return j, nil
 }
 
-// Job looks up a submitted job by ID.
+// Job looks up a submitted job by ID. Unknown ids — never submitted,
+// or completed and since evicted by the retention policy — report
+// false.
 func (s *Server) Job(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.evictDoneLocked(time.Now())
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// evictDoneLocked enforces the completed-job retention policy: drop
+// jobs older than RetainTTL (when set), then the oldest-completed past
+// the RetainDone bound. Queued and running jobs are never evicted.
+// Called with s.mu held.
+func (s *Server) evictDoneLocked(now time.Time) {
+	evict := func(id string) {
+		delete(s.jobs, id)
+		s.metrics.EvictedJobs.Inc()
+	}
+	if ttl := s.cfg.RetainTTL; ttl > 0 {
+		keep := s.doneOrder[:0]
+		for _, id := range s.doneOrder {
+			j := s.jobs[id]
+			if j == nil {
+				continue
+			}
+			j.mu.Lock()
+			expired := now.Sub(j.finished) > ttl
+			j.mu.Unlock()
+			if expired {
+				evict(id)
+			} else {
+				keep = append(keep, id)
+			}
+		}
+		for i := len(keep); i < len(s.doneOrder); i++ {
+			s.doneOrder[i] = ""
+		}
+		s.doneOrder = keep
+	}
+	for len(s.doneOrder) > s.cfg.RetainDone {
+		evict(s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
 }
 
 // Metrics returns a point-in-time snapshot of the server's counters and
@@ -283,6 +449,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 		Failed:           m.Failed.Load(),
 		CoalescedJobs:    m.CoalescedJobs.Load(),
 		Batches:          m.Batches.Load(),
+		ErrsDropped:      m.ErrsDropped.Load(),
+		EvictedJobs:      m.EvictedJobs.Load(),
 		Active:           active,
 		Queued:           queued,
 		Sessions:         s.rt.Sessions(),
@@ -295,6 +463,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 	qt := m.QueueTime.Snapshot()
 	snap.QueueTimeNS = int64(qt.Total)
 	snap.MeanQueueWaitNS = int64(qt.Mean())
+	if s.journal != nil {
+		wm := s.journal.Metrics()
+		snap.WAL = &wm
+	}
 	return snap
 }
 
@@ -308,7 +480,11 @@ func (s *Server) Draining() bool {
 // Drain shuts the server down gracefully: new submissions are rejected
 // with ErrDraining, jobs still queued complete immediately with a
 // retryable rejection result, and Drain returns once every in-flight
-// solve has finished. Safe to call more than once.
+// solve has finished. With a journal, queued jobs are persisted rather
+// than lost: they still finish in-memory with the retryable rejection
+// (this process won't run them), but no terminal record is journaled,
+// so the next start replays and runs them. Safe to call more than
+// once.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	if !s.draining {
@@ -320,13 +496,24 @@ func (s *Server) Drain() {
 			s.metrics.RejectedDraining.Inc()
 		}
 		if len(rejected) > 0 {
-			s.cfg.Log("drain: rejected %d queued job(s) as retryable", len(rejected))
+			if s.journal != nil {
+				s.cfg.Log("drain: persisted %d queued job(s) to the journal for the next start", len(rejected))
+			} else {
+				s.cfg.Log("drain: rejected %d queued job(s) as retryable", len(rejected))
+			}
 		}
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.workers.Wait()
 	s.rt.Drain()
+	if s.journal != nil {
+		s.journalClose.Do(func() {
+			if err := s.journal.Close(); err != nil {
+				s.cfg.Log("wal: close journal: %v", err)
+			}
+		})
+	}
 }
 
 // finishJob moves j to StateDone. Called with s.mu held or before the
@@ -382,7 +569,11 @@ func (s *Server) claimGroupLocked() []*Job {
 	head := s.queue[0]
 	s.queue = s.queue[1:]
 	group := []*Job{head}
-	if s.cfg.CoalesceMax <= 1 || !coalescible(head.Spec) {
+	// A resumed job owns its session outright: its solution vector is
+	// pre-seeded from the checkpoint, which the block-diagonal batch
+	// layout cannot express. (Specs that checkpoint are non-coalescible
+	// anyway — this guards the invariant, not a reachable case.)
+	if s.cfg.CoalesceMax <= 1 || !coalescible(head.Spec) || head.resume != nil {
 		return group
 	}
 	key := coalesceKey(head.Spec)
@@ -490,11 +681,25 @@ func (s *Server) runGroup(worker int, group []*Job) {
 		start := time.Now()
 		if len(chunk) == 1 {
 			j := chunk[0]
-			out := RunSolve(a, j.Spec, Options{
+			opt := Options{
 				Session: sess,
 				Cache:   s.recycleCache(j.Spec.Matrix),
 				Tracing: s.cfg.Tracing,
-			})
+				Resume:  j.resume,
+			}
+			if s.journal != nil && j.Spec.CheckpointEvery > 0 {
+				id := j.ID
+				opt.CheckpointSink = func(iter int, residual float64, x []float64, basis string) {
+					if err := s.journal.Checkpoint(id, iter, residual, x, basis); err != nil {
+						s.cfg.Log("wal: journal checkpoint for %s: %v", id, err)
+					}
+				}
+			}
+			if j.resume != nil {
+				s.cfg.Log("resume: %s restarts from verified checkpoint at iteration %d (residual %.3e)",
+					j.ID, j.resume.Iter, j.resume.Residual)
+			}
+			out := RunSolve(a, j.Spec, opt)
 			s.metrics.SolveTime.Observe(time.Since(start))
 			s.completeJob(j, &out)
 		} else {
@@ -512,15 +717,26 @@ func (s *Server) runGroup(worker int, group []*Job) {
 	}
 }
 
-// completeJob finishes one job and updates the outcome counters.
+// completeJob finishes one job and updates the outcome counters. With
+// a journal, the terminal state is journaled first: once the done
+// record is durable, replay skips the job forever. A crash between the
+// solve and the done record merely re-runs a deterministic solve.
 func (s *Server) completeJob(j *Job, res *JobResult) {
+	if s.journal != nil {
+		if err := s.journal.Done(j.ID, res); err != nil {
+			s.cfg.Log("wal: journal done for %s: %v", j.ID, err)
+		}
+	}
 	s.metrics.Completed.Inc()
 	if res.Err != "" || res.Breakdown != "" || !res.Converged {
 		s.metrics.Failed.Inc()
 	}
+	s.metrics.ErrsDropped.Add(res.Session.ErrsDropped)
 	started := j.Snapshot().Started
 	s.mu.Lock()
 	s.finishJob(j, res, started)
+	s.doneOrder = append(s.doneOrder, j.ID)
+	s.evictDoneLocked(time.Now())
 	s.mu.Unlock()
 }
 

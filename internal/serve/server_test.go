@@ -12,6 +12,17 @@ import (
 	"kdrsolvers/internal/jobspec"
 )
 
+// mustServer starts a server, failing the test on a journal-open
+// error (impossible without WALDir).
+func mustServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s
+}
+
 func testSpec(mut func(*jobspec.Spec)) jobspec.Spec {
 	s := jobspec.Default()
 	s.Matrix = "lap2d:16x16"
@@ -24,7 +35,7 @@ func testSpec(mut func(*jobspec.Spec)) jobspec.Spec {
 }
 
 func TestServerSolvesConcurrently(t *testing.T) {
-	s := NewServer(Config{MaxActive: 4, QueueDepth: 32, CoalesceMax: 1})
+	s := mustServer(t, Config{MaxActive: 4, QueueDepth: 32, CoalesceMax: 1})
 	defer s.Drain()
 	var jobs []*Job
 	for i := 0; i < 8; i++ {
@@ -50,7 +61,7 @@ func TestServerSolvesConcurrently(t *testing.T) {
 }
 
 func TestServerRejectsInvalidSpec(t *testing.T) {
-	s := NewServer(Config{})
+	s := mustServer(t, Config{})
 	defer s.Drain()
 	_, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Pieces = 0; sp.MaxIter = -1 }))
 	if err == nil {
@@ -70,7 +81,7 @@ func TestServerRejectsInvalidSpec(t *testing.T) {
 // the queue fills, and the next submission gets ErrQueueFull instead of
 // unbounded growth.
 func TestServerQueueBound(t *testing.T) {
-	s := NewServer(Config{MaxActive: 1, QueueDepth: 2, CoalesceMax: 1})
+	s := mustServer(t, Config{MaxActive: 1, QueueDepth: 2, CoalesceMax: 1})
 	defer s.Drain()
 	// A big job to occupy the single worker, then fill the queue.
 	if _, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Matrix = "lap2d:64x64" })); err != nil {
@@ -101,7 +112,7 @@ func TestServerQueueBound(t *testing.T) {
 // run would, and the batch actually forms.
 func TestServerCoalescesSameOperatorJobs(t *testing.T) {
 	solo := func() JobResult {
-		s := NewServer(Config{MaxActive: 1, CoalesceMax: 1})
+		s := mustServer(t, Config{MaxActive: 1, CoalesceMax: 1})
 		defer s.Drain()
 		j, err := s.Submit(testSpec(nil))
 		if err != nil {
@@ -110,7 +121,7 @@ func TestServerCoalescesSameOperatorJobs(t *testing.T) {
 		return *j.Result()
 	}()
 
-	s := NewServer(Config{MaxActive: 1, QueueDepth: 32, CoalesceMax: 8})
+	s := mustServer(t, Config{MaxActive: 1, QueueDepth: 32, CoalesceMax: 8})
 	defer s.Drain()
 	// Wedge the worker so the compatible group queues up behind it.
 	blocker, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Matrix = "lap2d:48x48" }))
@@ -154,7 +165,7 @@ func TestServerCoalescesSameOperatorJobs(t *testing.T) {
 // A faulted tenant and clean tenants on the SAME server: failure stays
 // in its session.
 func TestServerContainsFaultedTenant(t *testing.T) {
-	s := NewServer(Config{MaxActive: 2, CoalesceMax: 1})
+	s := mustServer(t, Config{MaxActive: 2, CoalesceMax: 1})
 	defer s.Drain()
 	bad, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Faults = "panic=0.05,seed=3" }))
 	if err != nil {
@@ -184,7 +195,7 @@ func TestServerContainsFaultedTenant(t *testing.T) {
 // Same operator + gcrodr: later jobs warm-start from the shared recycle
 // cache and converge in fewer iterations.
 func TestServerSharesRecycleCache(t *testing.T) {
-	s := NewServer(Config{MaxActive: 1, CoalesceMax: 1})
+	s := mustServer(t, Config{MaxActive: 1, CoalesceMax: 1})
 	defer s.Drain()
 	spec := testSpec(func(sp *jobspec.Spec) {
 		sp.Solver = "gcrodr"
@@ -213,7 +224,7 @@ func TestServerSharesRecycleCache(t *testing.T) {
 // Drain: in-flight jobs finish, queued jobs come back retryable, new
 // submissions are refused.
 func TestServerDrain(t *testing.T) {
-	s := NewServer(Config{MaxActive: 1, QueueDepth: 16, CoalesceMax: 1})
+	s := mustServer(t, Config{MaxActive: 1, QueueDepth: 16, CoalesceMax: 1})
 	inflight, err := s.Submit(testSpec(func(sp *jobspec.Spec) { sp.Matrix = "lap2d:48x48" }))
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +254,7 @@ func TestServerDrain(t *testing.T) {
 }
 
 func TestHTTPEndToEnd(t *testing.T) {
-	s := NewServer(Config{MaxActive: 2})
+	s := mustServer(t, Config{MaxActive: 2})
 	defer s.Drain()
 	ts := httptest.NewServer(Handler(s))
 	defer ts.Close()

@@ -42,9 +42,37 @@ type ResilientConfig struct {
 	// DriftTol is the relative drift threshold of the periodic
 	// replacement check; <= 0 replaces unconditionally at every check.
 	DriftTol float64
+	// StartIteration offsets the iteration counter: a solve resumed from
+	// a persisted checkpoint continues counting from the checkpointed
+	// iteration instead of 0. MaxIter keeps bounding the TOTAL iteration
+	// count across the job's lifetime, so a resumed solve gets exactly
+	// the budget the interrupted one had left. The caller is responsible
+	// for having written the checkpointed solution into the planner's
+	// solution vector before calling SolveResilient.
+	StartIteration int
+	// CheckpointSink, when non-nil, receives every verified checkpoint
+	// the moment it is taken — including the initial one — so a journal
+	// can persist it. The runtime is drained and the true residual
+	// verified finite at call time; the Sol slices are the driver's own
+	// deep copy and must not be mutated or retained past the call
+	// (serialize synchronously).
+	CheckpointSink func(Checkpoint)
 	// Log, when non-nil, receives progress lines (checkpoints, restarts,
 	// recovery decisions).
 	Log func(format string, args ...any)
+}
+
+// Checkpoint is one verified checkpoint of a resilient solve: the state
+// a crashed job can restart from.
+type Checkpoint struct {
+	// Iteration is the absolute iteration the checkpoint was taken at
+	// (cfg.StartIteration-based for resumed solves).
+	Iteration int
+	// TrueResidual is the host-verified ‖b − A·x‖ at the checkpoint.
+	TrueResidual float64
+	// Sol is the solution vector, one deep-copied slice per planner
+	// component, exactly as core.Planner.CheckpointSol lays it out.
+	Sol [][]float64
 }
 
 // ResilientResult extends Result with recovery accounting.
@@ -172,6 +200,9 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 	}
 	ckpt := p.CheckpointSol()
 	out.Checkpoints++
+	if cfg.CheckpointSink != nil {
+		cfg.CheckpointSink(Checkpoint{Iteration: cfg.StartIteration, TrueResidual: r0, Sol: ckpt})
+	}
 	best := r0
 	if mon != nil {
 		mon.Take() // alarms before the verified x0 checkpoint are moot
@@ -179,10 +210,11 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 	if r0 <= cfg.Tol {
 		out.Converged = true
 		out.Residual, out.TrueResidual = r0, r0
+		out.Iterations = cfg.StartIteration
 		return out
 	}
 
-	iter := 0
+	iter := cfg.StartIteration
 	for restart := 0; ; restart++ {
 		s := newSolver()
 		rplc, _ := s.(ResidualReplacer)
@@ -308,6 +340,9 @@ func SolveResilient(p *core.Planner, newSolver func() Solver, cfg ResilientConfi
 				}
 				ckpt = p.CheckpointSol()
 				out.Checkpoints++
+				if cfg.CheckpointSink != nil {
+					cfg.CheckpointSink(Checkpoint{Iteration: iter, TrueResidual: rn, Sol: ckpt})
+				}
 				sinceCkpt = 0
 				if rn < best {
 					best = rn
